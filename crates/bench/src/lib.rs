@@ -1,0 +1,1 @@
+//! Benchmark harness support crate (see `benches/`).

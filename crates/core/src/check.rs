@@ -1,0 +1,458 @@
+//! The FT multi-language type system (Fig 7 of the paper):
+//! `Ψ; ∆; Γ; χ; σ; q ⊢ e : τ; σ'`.
+//!
+//! F expressions are typed at the `out` marker with the stack typing
+//! threaded through in evaluation order; T components are typed by the
+//! `funtal-tal` rules extended (via the hook mechanism) with the
+//! multi-language instructions `protect` and `import` and the boundary
+//! rule.
+
+use std::collections::BTreeMap;
+
+use funtal_fun::check::subst_fty_var;
+use funtal_syntax::alpha::{alpha_eq_fty, alpha_eq_stack, alpha_eq_tty};
+use funtal_syntax::{
+    Component, FExpr, FTy, HeapTyping, Instr, Kind, RegFileTy, RetMarker, StackTail, StackTy,
+    TComp, TTy, TyVarDecl, VarName,
+};
+use funtal_tal::check::{check_component_with, TCtx};
+use funtal_tal::error::{TResult, TypeError};
+use funtal_tal::wf::{wf_fty, wf_stack, Delta};
+
+use crate::translate::fty_to_tty;
+
+/// The F typing environment `Γ`.
+pub type Gamma = BTreeMap<VarName, FTy>;
+
+/// The FT static context for F expressions (the marker is implicitly
+/// `out`).
+#[derive(Clone, Debug)]
+pub struct FtCtx {
+    /// Heap typing `Ψ`.
+    pub psi: HeapTyping,
+    /// Type environment `∆`.
+    pub delta: Delta,
+    /// Term environment `Γ`.
+    pub gamma: Gamma,
+    /// Register-file typing `χ` (threaded unchanged through F rules, as
+    /// in Fig 7; boundaries reset it).
+    pub chi: RegFileTy,
+    /// Stack typing `σ`.
+    pub sigma: StackTy,
+}
+
+impl FtCtx {
+    /// A context for a closed, whole program: empty everything, empty
+    /// concrete stack.
+    pub fn top() -> Self {
+        FtCtx {
+            psi: HeapTyping::new(),
+            delta: Delta::new(),
+            gamma: Gamma::new(),
+            chi: RegFileTy::new(),
+            sigma: StackTy::nil(),
+        }
+    }
+
+    fn with_sigma(&self, sigma: StackTy) -> Self {
+        FtCtx { sigma, ..self.clone() }
+    }
+}
+
+fn expect_fty(want: &FTy, got: &FTy, what: &'static str) -> TResult<()> {
+    if alpha_eq_fty(want, got) {
+        Ok(())
+    } else {
+        Err(TypeError::mismatch(what, want, got))
+    }
+}
+
+/// Splits `sigma` as `exposed ++ suffix`, returning the exposed prefix.
+///
+/// The tails must be literally equal (both `•` or the same variable) and
+/// the suffix's visible prefix must be a suffix of `sigma`'s.
+fn split_suffix(sigma: &StackTy, suffix: &StackTy) -> TResult<Vec<TTy>> {
+    if sigma.tail != suffix.tail {
+        return Err(TypeError::StackShape {
+            need: format!("a stack ending in {suffix}"),
+            found: sigma.clone(),
+        });
+    }
+    let n = sigma.prefix.len();
+    let k = suffix.prefix.len();
+    if k > n {
+        return Err(TypeError::StackShape {
+            need: format!("a stack ending in {suffix}"),
+            found: sigma.clone(),
+        });
+    }
+    let (front, back) = sigma.prefix.split_at(n - k);
+    for (a, b) in back.iter().zip(&suffix.prefix) {
+        if !alpha_eq_tty(a, b) {
+            return Err(TypeError::StackShape {
+                need: format!("a stack ending in {suffix}"),
+                found: sigma.clone(),
+            });
+        }
+    }
+    Ok(front.to_vec())
+}
+
+/// Infers the type and output stack of an F expression:
+/// `Ψ; ∆; Γ; χ; σ; out ⊢ e : τ; σ'`.
+pub fn type_of_fexpr(ctx: &FtCtx, e: &FExpr) -> TResult<(FTy, StackTy)> {
+    match e {
+        FExpr::Var(x) => {
+            let t = ctx
+                .gamma
+                .get(x)
+                .cloned()
+                .ok_or_else(|| TypeError::UnboundVar(x.to_string()))?;
+            Ok((t, ctx.sigma.clone()))
+        }
+        FExpr::Unit => Ok((FTy::Unit, ctx.sigma.clone())),
+        FExpr::Int(_) => Ok((FTy::Int, ctx.sigma.clone())),
+        FExpr::Binop { lhs, rhs, .. } => {
+            let (tl, s1) = type_of_fexpr(ctx, lhs)?;
+            expect_fty(&FTy::Int, &tl, "left operand")?;
+            let (tr, s2) = type_of_fexpr(&ctx.with_sigma(s1), rhs)?;
+            expect_fty(&FTy::Int, &tr, "right operand")?;
+            Ok((FTy::Int, s2))
+        }
+        FExpr::If0 { cond, then_branch, else_branch } => {
+            let (tc, s0) = type_of_fexpr(ctx, cond)?;
+            expect_fty(&FTy::Int, &tc, "if0 condition")?;
+            let branch_ctx = ctx.with_sigma(s0);
+            let (t1, sa) = type_of_fexpr(&branch_ctx, then_branch)?;
+            let (t2, sb) = type_of_fexpr(&branch_ctx, else_branch)?;
+            expect_fty(&t1, &t2, "if0 branches")?;
+            if !alpha_eq_stack(&sa, &sb) {
+                return Err(TypeError::mismatch("if0 branch stacks", &sa, &sb));
+            }
+            Ok((t1, sa))
+        }
+        FExpr::Lam(lam) => {
+            if ctx.delta.lookup(&lam.zeta).is_some() {
+                return Err(TypeError::DuplicateTyVar(lam.zeta.clone()));
+            }
+            let inner_delta = ctx.delta.extended(TyVarDecl::stack(lam.zeta.clone()));
+            for (_, t) in &lam.params {
+                wf_fty(&ctx.delta, t)?;
+            }
+            for t in lam.phi_in.iter().chain(&lam.phi_out) {
+                funtal_tal::wf::wf_tty(&inner_delta, t)?;
+            }
+            let mut gamma = ctx.gamma.clone();
+            for (x, t) in &lam.params {
+                gamma.insert(x.clone(), t.clone());
+            }
+            let body_sigma = StackTy {
+                prefix: lam.phi_in.clone(),
+                tail: StackTail::Var(lam.zeta.clone()),
+            };
+            let body_ctx = FtCtx {
+                psi: ctx.psi.clone(),
+                delta: inner_delta,
+                gamma,
+                chi: ctx.chi.clone(),
+                sigma: body_sigma,
+            };
+            let (ret, out_sigma) = type_of_fexpr(&body_ctx, &lam.body)?;
+            let want_out = StackTy {
+                prefix: lam.phi_out.clone(),
+                tail: StackTail::Var(lam.zeta.clone()),
+            };
+            if !alpha_eq_stack(&out_sigma, &want_out) {
+                return Err(TypeError::mismatch(
+                    "lambda body output stack",
+                    &want_out,
+                    &out_sigma,
+                ));
+            }
+            Ok((
+                FTy::Arrow {
+                    params: lam.params.iter().map(|(_, t)| t.clone()).collect(),
+                    phi_in: lam.phi_in.clone(),
+                    phi_out: lam.phi_out.clone(),
+                    ret: Box::new(ret),
+                },
+                ctx.sigma.clone(),
+            ))
+        }
+        FExpr::App { func, args } => {
+            let (tf, mut s) = type_of_fexpr(ctx, func)?;
+            let FTy::Arrow { params, phi_in, phi_out, ret } = &tf else {
+                return Err(TypeError::wrong_form("a function", &tf));
+            };
+            if params.len() != args.len() {
+                return Err(TypeError::Other(format!(
+                    "application expects {} arguments, got {}",
+                    params.len(),
+                    args.len()
+                )));
+            }
+            for (p, a) in params.iter().zip(args) {
+                let (ta, s2) = type_of_fexpr(&ctx.with_sigma(s), a)?;
+                expect_fty(p, &ta, "argument")?;
+                s = s2;
+            }
+            // The stack must expose φi on top at application time.
+            let (front, rest) = s.split(phi_in.len()).ok_or_else(|| TypeError::StackShape {
+                need: format!("prefix {}", funtal_syntax::display::PrefixDisplay(phi_in)),
+                found: s.clone(),
+            })?;
+            for (have, want) in front.iter().zip(phi_in) {
+                if !alpha_eq_tty(have, want) {
+                    return Err(TypeError::mismatch("application stack prefix", want, have));
+                }
+            }
+            Ok(((**ret).clone(), rest.cons_prefix(phi_out)))
+        }
+        FExpr::Fold { ann, body } => {
+            wf_fty(&ctx.delta, ann)?;
+            let FTy::Rec(a, inner) = ann else {
+                return Err(TypeError::wrong_form("a recursive-type annotation", ann));
+            };
+            let unrolled = subst_fty_var(inner, a, ann);
+            let (tb, s) = type_of_fexpr(ctx, body)?;
+            expect_fty(&unrolled, &tb, "fold body")?;
+            Ok((ann.clone(), s))
+        }
+        FExpr::Unfold(body) => {
+            let (t, s) = type_of_fexpr(ctx, body)?;
+            let FTy::Rec(a, inner) = &t else {
+                return Err(TypeError::wrong_form("a value of recursive type", &t));
+            };
+            Ok((subst_fty_var(inner, a, &t), s))
+        }
+        FExpr::Tuple(es) => {
+            let mut tys = Vec::with_capacity(es.len());
+            let mut s = ctx.sigma.clone();
+            for e in es {
+                let (t, s2) = type_of_fexpr(&ctx.with_sigma(s), e)?;
+                tys.push(t);
+                s = s2;
+            }
+            Ok((FTy::Tuple(tys), s))
+        }
+        FExpr::Proj { idx, tuple } => {
+            let (t, s) = type_of_fexpr(ctx, tuple)?;
+            let FTy::Tuple(ts) = &t else {
+                return Err(TypeError::wrong_form("a tuple", &t));
+            };
+            if *idx == 0 || *idx > ts.len() {
+                return Err(TypeError::BadFieldIndex { idx: *idx, width: ts.len() });
+            }
+            Ok((ts[*idx - 1].clone(), s))
+        }
+        FExpr::Boundary { ty, sigma_out, comp } => {
+            wf_fty(&ctx.delta, ty)?;
+            let sigma_prime = sigma_out.clone().unwrap_or_else(|| ctx.sigma.clone());
+            wf_stack(&ctx.delta, &sigma_prime)?;
+            let t_ty = fty_to_tty(ty);
+            // Fig 7: the component is checked under an *empty* register
+            // file (embedded assembly may assume nothing about
+            // registers) at marker end{τ𝒯; σ'}.
+            let tctx = TCtx::new(
+                ctx.psi.clone(),
+                ctx.delta.clone(),
+                RegFileTy::new(),
+                ctx.sigma.clone(),
+                RetMarker::end(t_ty, sigma_prime.clone()),
+            );
+            check_tcomp(&tctx, &ctx.gamma, comp)?;
+            Ok((ty.clone(), sigma_prime))
+        }
+    }
+}
+
+/// Checks the `protect φ, ζ` instruction (Fig 7).
+fn check_protect(tctx: &TCtx, phi: &[TTy], zeta: &funtal_syntax::TyVar) -> TResult<TCtx> {
+    if tctx.delta.lookup(zeta).is_some() {
+        return Err(TypeError::DuplicateTyVar(zeta.clone()));
+    }
+    let (front, rest) = tctx.sigma.split(phi.len()).ok_or_else(|| TypeError::StackShape {
+        need: format!(
+            "visible prefix {}",
+            funtal_syntax::display::PrefixDisplay(phi)
+        ),
+        found: tctx.sigma.clone(),
+    })?;
+    for (have, want) in front.iter().zip(phi) {
+        if !alpha_eq_tty(have, want) {
+            return Err(TypeError::mismatch("protect prefix", want, have));
+        }
+    }
+    // Transform the marker: a stack marker may not be hidden; an end
+    // marker whose stack ends in the protected tail is re-expressed in
+    // terms of ζ.
+    let q = match &tctx.q {
+        RetMarker::Stack(i) => {
+            if *i >= phi.len() {
+                return Err(TypeError::ClobbersMarker(
+                    "protect would hide the marker slot",
+                ));
+            }
+            RetMarker::Stack(*i)
+        }
+        RetMarker::End { ty, sigma } => {
+            let exposed = split_suffix(sigma, &rest).map_err(|_| TypeError::StackShape {
+                need: format!("an end-marker stack ending in the protected tail {rest}"),
+                found: sigma.clone(),
+            })?;
+            RetMarker::End {
+                ty: ty.clone(),
+                sigma: StackTy { prefix: exposed, tail: StackTail::Var(zeta.clone()) },
+            }
+        }
+        other => other.clone(),
+    };
+    Ok(TCtx {
+        psi: tctx.psi.clone(),
+        delta: tctx.delta.extended(TyVarDecl::stack(zeta.clone())),
+        chi: tctx.chi.clone(),
+        sigma: StackTy { prefix: front, tail: StackTail::Var(zeta.clone()) },
+        q,
+    })
+}
+
+/// Checks the `import rd, ζ = σ0, TF[τ](e)` instruction (Fig 7).
+fn check_import(
+    tctx: &TCtx,
+    gamma: &Gamma,
+    rd: funtal_syntax::Reg,
+    zeta: &funtal_syntax::TyVar,
+    protected: &StackTy,
+    ty: &FTy,
+    body: &FExpr,
+) -> TResult<TCtx> {
+    if tctx.delta.lookup(zeta).is_some() {
+        return Err(TypeError::DuplicateTyVar(zeta.clone()));
+    }
+    wf_fty(&tctx.delta, ty)?;
+    wf_stack(&tctx.delta, protected)?;
+    let exposed = split_suffix(&tctx.sigma, protected)?;
+    // The marker must live inside the protected tail (or be end{..}):
+    // "we must be sure that q cannot be clobbered by T code embedded in
+    // e" (§4.2).
+    match &tctx.q {
+        RetMarker::Stack(i) => {
+            if *i < exposed.len() {
+                return Err(TypeError::BadMarker {
+                    found: tctx.q.clone(),
+                    need: "import requires the marker inside the protected tail",
+                });
+            }
+        }
+        RetMarker::End { .. } => {}
+        other => {
+            return Err(TypeError::BadMarker {
+                found: other.clone(),
+                need: "import requires a stack or end{τ;σ} marker",
+            })
+        }
+    }
+    let inner_delta = tctx.delta.extended(TyVarDecl::stack(zeta.clone()));
+    let body_ctx = FtCtx {
+        psi: tctx.psi.clone(),
+        delta: inner_delta,
+        gamma: gamma.clone(),
+        chi: tctx.chi.clone(),
+        sigma: StackTy {
+            prefix: exposed.clone(),
+            tail: StackTail::Var(zeta.clone()),
+        },
+    };
+    let (tb, out_sigma) = type_of_fexpr(&body_ctx, body)?;
+    if !alpha_eq_fty(&tb, ty) {
+        return Err(TypeError::mismatch("import body type", ty, &tb));
+    }
+    if out_sigma.tail != StackTail::Var(zeta.clone()) {
+        return Err(TypeError::StackShape {
+            need: format!("an import body preserving the abstract tail {zeta}"),
+            found: out_sigma,
+        });
+    }
+    let out_prefix = out_sigma.prefix;
+    let delta_len = out_prefix.len() as isize - exposed.len() as isize;
+    // Fig 7: the result register file is exactly {rd : τ𝒯} — embedded F
+    // evaluation may clobber every register.
+    let chi = RegFileTy::from_pairs([(rd, fty_to_tty(ty))]);
+    // Splice the protected tail back under the body's output prefix:
+    // σ' = φ' :: σ0.
+    let mut prefix = out_prefix;
+    prefix.extend(protected.prefix.iter().cloned());
+    let sigma = StackTy { prefix, tail: protected.tail.clone() };
+    Ok(TCtx {
+        psi: tctx.psi.clone(),
+        delta: tctx.delta.clone(),
+        chi,
+        sigma,
+        q: tctx.q.shifted_by(delta_len),
+    })
+}
+
+/// Checks a T component under the FT rules (Fig 2's component rule with
+/// Fig 7's `import`/`protect` extensions), returning `τ; σ'` from
+/// `ret-type`.
+pub fn check_tcomp(tctx: &TCtx, gamma: &Gamma, comp: &TComp) -> TResult<(TTy, StackTy)> {
+    let gamma = gamma.clone();
+    let mut hook = |c: &TCtx, instr: &Instr| match instr {
+        Instr::Protect { phi, zeta } => Some(check_protect(c, phi, zeta)),
+        Instr::Import { rd, zeta, protected, ty, body } => {
+            Some(check_import(c, &gamma, *rd, zeta, protected, ty, body))
+        }
+        _ => None,
+    };
+    check_component_with(tctx, comp, &mut hook)
+}
+
+/// Type-checks a closed FT component as a whole program.
+///
+/// - `Component::F(e)`: returns the F type of `e`, checked on the empty
+///   concrete stack.
+/// - `Component::T(c)`: checks the component at marker
+///   `end{τ𝒯; •}` for the provided expected type.
+pub fn typecheck_component(comp: &Component, expected: Option<&FTy>) -> TResult<FTy> {
+    match comp {
+        Component::F(e) => {
+            let (t, s) = type_of_fexpr(&FtCtx::top(), e)?;
+            if !alpha_eq_stack(&s, &StackTy::nil()) {
+                return Err(TypeError::StackShape {
+                    need: "a whole program leaving the stack empty".to_string(),
+                    found: s,
+                });
+            }
+            if let Some(want) = expected {
+                expect_fty(want, &t, "program type")?;
+            }
+            Ok(t)
+        }
+        Component::T(c) => {
+            let want = expected.ok_or_else(|| {
+                TypeError::Other(
+                    "checking a top-level T component requires an expected type".to_string(),
+                )
+            })?;
+            let t_ty = fty_to_tty(want);
+            let tctx = TCtx::new(
+                HeapTyping::new(),
+                Delta::new(),
+                RegFileTy::new(),
+                StackTy::nil(),
+                RetMarker::end(t_ty, StackTy::nil()),
+            );
+            check_tcomp(&tctx, &Gamma::new(), c)?;
+            Ok(want.clone())
+        }
+    }
+}
+
+/// Convenience: type-check a closed F expression as a whole program.
+pub fn typecheck(e: &FExpr) -> TResult<FTy> {
+    typecheck_component(&Component::F(e.clone()), None)
+}
+
+/// Re-exported kind marker to keep the public surface tidy.
+#[allow(dead_code)]
+type _Kind = Kind;

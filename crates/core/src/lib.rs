@@ -1,0 +1,52 @@
+//! **FunTAL** — the FT multi-language of *"FunTAL: Reasonably Mixing a
+//! Functional Language with Assembly"* (Patterson, Perconti, Dimoulas,
+//! Ahmed; PLDI 2017).
+//!
+//! FT embeds the typed assembly language **T** (crate `funtal-tal`) in
+//! the functional language **F** (crate `funtal-fun`) and vice versa:
+//!
+//! - boundaries `τFT e` use a T component as an F expression of type
+//!   `τ` (Fig 6);
+//! - the `import` instruction evaluates an F expression from inside
+//!   assembly and places the translated value in a register;
+//! - `protect` abstracts the stack tail so embedded code cannot touch
+//!   it;
+//! - stack-modifying lambdas `λ^{φi}_{φo}(x̄:τ̄).e` expose controlled
+//!   stack effects to F.
+//!
+//! This crate provides the FT type system ([`check`], Fig 7), the
+//! boundary type/value translations ([`translate`], Figs 9–10), the
+//! mixed-language machine ([`machine`], Fig 8), the paper's mixed
+//! examples ([`figures`]: the JIT example of Fig 11, the two-block
+//! equivalence of Fig 16, the two factorials of Fig 17, and the push-7
+//! stack-modifying lambda of §4.2), and the §4.2 mutable-reference
+//! library ([`mutref`]).
+//!
+//! # Example
+//!
+//! Type-check and run the paper's JIT example (Fig 11), which calls
+//! compiled assembly that calls back into an interpreted F function:
+//!
+//! ```
+//! use funtal::check::typecheck;
+//! use funtal::figures::fig11_jit;
+//! use funtal::machine::eval_to_value;
+//! use funtal_syntax::build::*;
+//!
+//! let e = fig11_jit();
+//! assert_eq!(typecheck(&e)?, fint());
+//! assert_eq!(eval_to_value(&e, 100_000)?, fint_e(2));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod figures;
+pub mod machine;
+pub mod mutref;
+pub mod translate;
+
+pub use check::{typecheck, typecheck_component, type_of_fexpr, FtCtx, Gamma};
+pub use machine::{eval_to_value, run, run_fexpr, FtOutcome, RunCfg};
+pub use translate::{f_to_t, fty_to_tty, t_to_f};

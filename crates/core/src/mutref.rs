@@ -1,0 +1,184 @@
+//! A very basic mutable-reference library built from stack-modifying
+//! lambdas, as sketched in §4.2 of the paper ("we use this feature to
+//! implement a very basic mutable reference library").
+//!
+//! A "cell" is an `int` slot kept on the T stack. The library exposes
+//! four stack-modifying combinators:
+//!
+//! | operation | type |
+//! |-----------|------|
+//! | [`new_cell`]  | `(int)[·; int::·] → unit` — push a cell   |
+//! | [`get_cell`]  | `(unit)[int::·; int::·] → int` — read it  |
+//! | [`set_cell`]  | `(int)[int::·; int::·] → unit` — write it |
+//! | [`free_cell`] | `(unit)[int::·; ·] → unit` — pop it       |
+//!
+//! F code cannot observe or forge the cell except through these
+//! combinators — exactly the kind of local, type-mediated side channel
+//! the paper's §6 discussion contemplates.
+
+use funtal_syntax::build::*;
+use funtal_syntax::FExpr;
+
+/// `(int)[·; int::·] → unit`: allocates a stack cell holding the
+/// argument.
+pub fn new_cell() -> FExpr {
+    lam_sm(
+        vec![("x", fint())],
+        "z",
+        vec![],
+        vec![int()],
+        boundary_out(
+            funit(),
+            stack(vec![int()], zvar("z")),
+            tcomp(
+                seq(
+                    vec![
+                        protect(vec![], "z2"),
+                        import(r1(), "z3", zvar("z2"), fint(), var("x")),
+                        salloc(1),
+                        sst(0, r1()),
+                        mv(r1(), unit_v()),
+                    ],
+                    halt(unit(), stack(vec![int()], zvar("z2")), r1()),
+                ),
+                vec![],
+            ),
+        ),
+    )
+}
+
+/// `(unit)[int::·; int::·] → int`: reads the cell.
+pub fn get_cell() -> FExpr {
+    lam_sm(
+        vec![("d", funit())],
+        "z",
+        vec![int()],
+        vec![int()],
+        boundary(
+            fint(),
+            tcomp(
+                seq(
+                    vec![protect(vec![int()], "z2"), sld(r1(), 0)],
+                    halt(int(), stack(vec![int()], zvar("z2")), r1()),
+                ),
+                vec![],
+            ),
+        ),
+    )
+}
+
+/// `(int)[int::·; int::·] → unit`: overwrites the cell.
+pub fn set_cell() -> FExpr {
+    lam_sm(
+        vec![("x", fint())],
+        "z",
+        vec![int()],
+        vec![int()],
+        boundary(
+            funit(),
+            tcomp(
+                seq(
+                    vec![
+                        protect(vec![int()], "z2"),
+                        import(r1(), "z3", zvar("z2"), fint(), var("x")),
+                        sst(0, r1()),
+                        mv(r1(), unit_v()),
+                    ],
+                    halt(unit(), stack(vec![int()], zvar("z2")), r1()),
+                ),
+                vec![],
+            ),
+        ),
+    )
+}
+
+/// `(unit)[int::·; ·] → unit`: frees the cell.
+pub fn free_cell() -> FExpr {
+    lam_sm(
+        vec![("d", funit())],
+        "z",
+        vec![int()],
+        vec![],
+        boundary_out(
+            funit(),
+            zvar("z"),
+            tcomp(
+                seq(
+                    vec![
+                        protect(vec![int()], "z2"),
+                        sfree(1),
+                        mv(r1(), unit_v()),
+                    ],
+                    halt(unit(), zvar("z2"), r1()),
+                ),
+                vec![],
+            ),
+        ),
+    )
+}
+
+/// A complete program using the library: allocate a cell holding
+/// `init`, add `delta` to it through the cell, read the result, free
+/// the cell, and return the read value.
+///
+/// Evaluates to `init + delta` (and leaves the stack empty).
+pub fn cell_demo(init: i64, delta: i64) -> FExpr {
+    // set(get(()) + delta) then get(()) — sequenced through a
+    // stack-modifying lambda that keeps the cell exposed.
+    let read_after_set = app(
+        lam_sm(
+            vec![("d", funit())],
+            "zs",
+            vec![int()],
+            vec![int()],
+            app(get_cell(), vec![funit_e()]),
+        ),
+        vec![app(
+            set_cell(),
+            vec![fadd(app(get_cell(), vec![funit_e()]), fint_e(delta))],
+        )],
+    );
+    // Ordinary lambda sequencing: the stack is back to the ambient tail
+    // after free_cell, so a plain lambda can collect the result.
+    app(
+        lam_z(
+            vec![("d0", funit()), ("res", fint()), ("d1", funit())],
+            "zz",
+            var("res"),
+        ),
+        vec![
+            app(new_cell(), vec![fint_e(init)]),
+            read_after_set,
+            app(free_cell(), vec![funit_e()]),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::check::typecheck;
+    use crate::machine::{eval_to_value, run_fexpr, FtOutcome, RunCfg};
+    use funtal_syntax::build::*;
+    use funtal_tal::trace::NullTracer;
+
+    #[test]
+    fn cell_demo_typechecks() {
+        let t = typecheck(&super::cell_demo(10, 5)).unwrap();
+        assert_eq!(t, fint());
+    }
+
+    #[test]
+    fn cell_demo_runs() {
+        let v = eval_to_value(&super::cell_demo(10, 5), 10_000).unwrap();
+        assert_eq!(v, fint_e(15));
+        let v = eval_to_value(&super::cell_demo(-3, 3), 10_000).unwrap();
+        assert_eq!(v, fint_e(0));
+    }
+
+    #[test]
+    fn cell_demo_runs_under_guard() {
+        let cfg = RunCfg { fuel: 10_000, guard: true };
+        let out = run_fexpr(&super::cell_demo(7, 1), cfg, &mut NullTracer).unwrap();
+        assert_eq!(out, FtOutcome::Value(fint_e(8)));
+    }
+}

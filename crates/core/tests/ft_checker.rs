@@ -1,0 +1,356 @@
+//! Focused tests for the FT typing rules (Fig 7): the boundary rule,
+//! `import`, `protect`, stack-modifying lambdas, and the stack
+//! threading of the F rules — positive and negative cases per rule.
+
+use funtal::check::{type_of_fexpr, typecheck, FtCtx};
+use funtal_syntax::alpha::{alpha_eq_fty, alpha_eq_stack};
+use funtal_syntax::build::*;
+use funtal_syntax::{FExpr, StackTy};
+
+fn check_at(e: &FExpr, sigma: StackTy) -> Result<(funtal_syntax::FTy, StackTy), String> {
+    let ctx = FtCtx { sigma, ..FtCtx::top() };
+    type_of_fexpr(&ctx, e).map_err(|err| err.to_string())
+}
+
+// --- stack threading in F rules ----------------------------------------------
+
+#[test]
+fn binop_threads_stack_left_to_right() {
+    // lhs pushes (via push7-like lambda result is unit... use mutref
+    // pattern): we verify threading with an expression whose lhs grows
+    // the stack and whose rhs needs it grown.
+    use funtal::mutref::{free_cell, get_cell, new_cell};
+    // (new(1); get()) + ... : sequencing via multi-arg application
+    // evaluates arguments left to right, so the stack types thread.
+    let e = app(
+        lam_z(
+            vec![("d", funit()), ("a", fint()), ("d2", funit())],
+            "zz",
+            var("a"),
+        ),
+        vec![
+            app(new_cell(), vec![fint_e(1)]),
+            app(get_cell(), vec![funit_e()]),
+            app(free_cell(), vec![funit_e()]),
+        ],
+    );
+    let (ty, out) = check_at(&e, nil()).unwrap();
+    assert!(alpha_eq_fty(&ty, &fint()));
+    assert!(alpha_eq_stack(&out, &nil()));
+}
+
+#[test]
+fn if0_branches_must_agree_on_stack() {
+    use funtal::mutref::new_cell;
+    // then-branch pushes a cell, else-branch doesn't: rejected.
+    let bad = if0(
+        fint_e(0),
+        app(new_cell(), vec![fint_e(1)]),
+        funit_e(),
+    );
+    assert!(check_at(&bad, nil()).is_err());
+    // Both push: accepted, output stack has the cell.
+    let good = if0(
+        fint_e(0),
+        app(new_cell(), vec![fint_e(1)]),
+        app(new_cell(), vec![fint_e(2)]),
+    );
+    let (_, out) = check_at(&good, nil()).unwrap();
+    assert_eq!(out.visible_len(), 1);
+}
+
+#[test]
+fn tuple_threads_stack() {
+    use funtal::mutref::{free_cell, get_cell, new_cell};
+    // ⟨new(5), get(), free()⟩: the middle element needs the cell the
+    // first one pushes; the last frees it.
+    let e = ftuple(vec![
+        app(new_cell(), vec![fint_e(5)]),
+        app(get_cell(), vec![funit_e()]),
+        app(free_cell(), vec![funit_e()]),
+    ]);
+    let (ty, out) = check_at(&e, nil()).unwrap();
+    assert!(alpha_eq_fty(&ty, &ftuple_ty(vec![funit(), fint(), funit()])));
+    assert!(alpha_eq_stack(&out, &nil()));
+}
+
+// --- boundary rule --------------------------------------------------------------
+
+#[test]
+fn boundary_checks_under_empty_chi() {
+    // A component reading a register it never set is rejected even
+    // though the ambient F context "has" registers (Fig 7 resets χ).
+    let bad = boundary(
+        fint(),
+        tcomp(seq(vec![], halt(int(), nil(), r1())), vec![]),
+    );
+    assert!(check_at(&bad, nil()).is_err());
+}
+
+#[test]
+fn boundary_sigma_out_annotation_respected() {
+    // Component pushes an int: requires the explicit annotation.
+    let comp = tcomp(
+        seq(
+            vec![mv(r1(), int_v(3)), salloc(1), sst(0, r1()), mv(r1(), unit_v())],
+            halt(unit(), stack(vec![int()], nil()), r1()),
+        ),
+        vec![],
+    );
+    // Without annotation (σ' defaults to σ = •): rejected.
+    let bad = FExpr::Boundary {
+        ty: funit(),
+        sigma_out: None,
+        comp: Box::new(comp.clone()),
+    };
+    assert!(check_at(&bad, nil()).is_err());
+    // With the annotation: accepted and the output stack is int :: •.
+    let good = FExpr::Boundary {
+        ty: funit(),
+        sigma_out: Some(stack(vec![int()], nil())),
+        comp: Box::new(comp),
+    };
+    let (_, out) = check_at(&good, nil()).unwrap();
+    assert!(alpha_eq_stack(&out, &stack(vec![int()], nil())));
+}
+
+// --- protect --------------------------------------------------------------------
+
+#[test]
+fn protect_requires_matching_prefix() {
+    // protect [unit], z on an int :: • stack: rejected.
+    let bad = boundary(
+        fint(),
+        tcomp(
+            seq(
+                vec![protect(vec![unit()], "z2"), mv(r1(), int_v(1))],
+                halt(int(), stack(vec![unit()], zvar("z2")), r1()),
+            ),
+            vec![],
+        ),
+    );
+    assert!(check_at(&bad, stack(vec![int()], nil())).is_err());
+}
+
+#[test]
+fn protect_rebinds_end_marker() {
+    // The push-7 pattern: protect under an end marker whose stack ends
+    // in the protected tail.
+    let good = funtal::figures::push7();
+    assert!(typecheck(&good).is_ok());
+}
+
+#[test]
+fn protect_cannot_shadow() {
+    // Two nested protects with the same ζ name are rejected
+    // (conservative no-shadowing rule).
+    let bad = boundary(
+        fint(),
+        tcomp(
+            seq(
+                vec![
+                    protect(vec![], "z2"),
+                    protect(vec![], "z2"),
+                    mv(r1(), int_v(1)),
+                ],
+                halt(int(), zvar("z2"), r1()),
+            ),
+            vec![],
+        ),
+    );
+    assert!(check_at(&bad, nil()).is_err());
+}
+
+// --- import ----------------------------------------------------------------------
+
+#[test]
+fn import_resets_register_file() {
+    // Using a register set before an import, after it: rejected
+    // (Fig 7's import rule types the continuation under {rd: τ𝒯} only).
+    let bad = boundary(
+        fint(),
+        tcomp(
+            seq(
+                vec![
+                    protect(vec![], "zp"),
+                    mv(r2(), int_v(40)),
+                    import(r1(), "zi", zvar("zp"), fint(), fint_e(2)),
+                    add(r1(), r2(), reg(r1())),
+                ],
+                halt(int(), zvar("zp"), r1()),
+            ),
+            vec![],
+        ),
+    );
+    assert!(check_at(&bad, nil()).is_err());
+
+    // The stack survives: park the value there instead.
+    let good = boundary(
+        fint(),
+        tcomp(
+            seq(
+                vec![
+                    protect(vec![], "zp"),
+                    mv(r2(), int_v(40)),
+                    salloc(1),
+                    sst(0, r2()),
+                    import(
+                        r1(),
+                        "zi",
+                        stack(vec![int()], zvar("zp")),
+                        fint(),
+                        fint_e(2),
+                    ),
+                    sld(r2(), 0),
+                    sfree(1),
+                    add(r1(), r2(), reg(r1())),
+                ],
+                halt(int(), zvar("zp"), r1()),
+            ),
+            vec![],
+        ),
+    );
+    let (ty, _) = check_at(&good, nil()).unwrap();
+    assert!(alpha_eq_fty(&ty, &fint()));
+    // And it runs.
+    assert_eq!(
+        funtal::machine::eval_to_value(&good, 10_000).unwrap(),
+        fint_e(42)
+    );
+}
+
+#[test]
+fn import_body_must_preserve_abstract_tail() {
+    // The import body pushes a cell onto the abstract tail and leaves
+    // it: the output prefix grows, which is fine — but leaving a
+    // *different* tail is impossible to express, and a body that
+    // net-pops below the abstract tail is rejected by the pure-T rules
+    // inside. Here: a body of the wrong type is rejected.
+    let bad = boundary(
+        fint(),
+        tcomp(
+            seq(
+                vec![
+                    protect(vec![], "zp"),
+                    import(r1(), "zi", zvar("zp"), fint(), funit_e()),
+                ],
+                halt(int(), zvar("zp"), r1()),
+            ),
+            vec![],
+        ),
+    );
+    assert!(check_at(&bad, nil()).is_err());
+}
+
+#[test]
+fn import_body_may_grow_the_exposed_prefix() {
+    // An import whose body pushes a stack cell (via a stack-modifying
+    // application) shifts the marker by k − j (Fig 7's inc(q, k−j)).
+    use funtal::mutref::new_cell;
+    let e = boundary(
+        fint(),
+        tcomp(
+            seq(
+                vec![
+                    protect(vec![], "zp"),
+                    import(
+                        r1(),
+                        "zi",
+                        zvar("zp"),
+                        funit(),
+                        app(new_cell(), vec![fint_e(9)]),
+                    ),
+                    // The pushed cell is now on the stack: read it.
+                    sld(r1(), 0),
+                    sfree(1),
+                ],
+                halt(int(), zvar("zp"), r1()),
+            ),
+            vec![],
+        ),
+    );
+    let (ty, _) = check_at(&e, nil()).unwrap();
+    assert!(alpha_eq_fty(&ty, &fint()));
+    assert_eq!(
+        funtal::machine::eval_to_value(&e, 10_000).unwrap(),
+        fint_e(9)
+    );
+}
+
+// --- stack-modifying lambdas --------------------------------------------------------
+
+#[test]
+fn stack_lambda_types_record_both_prefixes() {
+    let f = funtal::mutref::set_cell();
+    let ty = typecheck(&f).unwrap();
+    assert!(alpha_eq_fty(
+        &ty,
+        &arrow_sm(vec![fint()], vec![int()], vec![int()], funit())
+    ));
+}
+
+#[test]
+fn plain_lambda_body_cannot_touch_ambient_stack() {
+    // An ordinary lambda whose body reads the ambient stack slot:
+    // rejected, because the body types under a bare abstract ζ.
+    let bad = lam_z(
+        vec![("d", funit())],
+        "zl",
+        boundary(
+            fint(),
+            tcomp(
+                seq(vec![sld(r1(), 0)], halt(int(), stack(vec![int()], zvar("zl")), r1())),
+                vec![],
+            ),
+        ),
+    );
+    assert!(typecheck(&bad).is_err());
+}
+
+#[test]
+fn stack_lambda_application_consumes_and_produces_prefixes() {
+    use funtal::mutref::{free_cell, new_cell};
+    // new : φo=int; free : φi=int, φo=·. Composition leaves the stack
+    // clean; applying free twice cannot typecheck.
+    let once = app(
+        lam_z(vec![("a", funit()), ("b", funit())], "zz", funit_e()),
+        vec![
+            app(new_cell(), vec![fint_e(1)]),
+            app(free_cell(), vec![funit_e()]),
+        ],
+    );
+    assert!(typecheck(&once).is_ok());
+    let twice = app(
+        lam_z(
+            vec![("a", funit()), ("b", funit()), ("c", funit())],
+            "zz",
+            funit_e(),
+        ),
+        vec![
+            app(new_cell(), vec![fint_e(1)]),
+            app(free_cell(), vec![funit_e()]),
+            app(free_cell(), vec![funit_e()]),
+        ],
+    );
+    assert!(typecheck(&twice).is_err());
+}
+
+// --- referential-transparency conjecture (§6), tested --------------------------------
+
+#[test]
+fn pure_boundaries_commute_observationally() {
+    // Without stack-modifying lambdas or static mutable tuples, two
+    // embedded TAL components cannot communicate: evaluating e twice
+    // equals evaluating it once (no observable effects). We test the
+    // weak, executable consequence: a boundary's value is stable across
+    // duplication.
+    let e = funtal::figures::fig16_f1();
+    let dup = fadd(
+        app(e.clone(), vec![fint_e(10)]),
+        app(e, vec![fint_e(10)]),
+    );
+    assert_eq!(
+        funtal::machine::eval_to_value(&dup, 100_000).unwrap(),
+        fint_e(24)
+    );
+}

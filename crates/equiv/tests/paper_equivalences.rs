@@ -1,0 +1,123 @@
+//! E9/E10: the paper's §5.1 example equivalences, checked with the
+//! bounded relation, plus negative controls (mutated variants must be
+//! distinguished).
+
+use funtal::figures::*;
+use funtal_equiv::{equivalent, EquivCfg, Verdict};
+use funtal_syntax::build::*;
+
+fn cfg() -> EquivCfg {
+    EquivCfg { fuel: 20_000, samples: 10, depth: 2, seed: 2024 }
+}
+
+#[test]
+fn fig16_one_block_equals_two_blocks() {
+    let v = equivalent(
+        &fig16_f1(),
+        &fig16_f2(),
+        &arrow(vec![fint()], fint()),
+        &cfg(),
+    );
+    assert!(v.is_equiv(), "{v}");
+}
+
+#[test]
+fn fig16_negative_control() {
+    // f1 against a variant that adds 3: must be distinguished.
+    let f3 = lam(vec![("x", fint())], fadd(var("x"), fint_e(3)));
+    let v = equivalent(&fig16_f1(), &f3, &arrow(vec![fint()], fint()), &cfg());
+    assert!(!v.is_equiv());
+    if let Verdict::Different(c) = v {
+        assert!(c.experiment.contains("apply"), "{c}");
+    }
+}
+
+#[test]
+fn fig17_functional_equals_imperative_factorial() {
+    // The headline equivalence: recursive F factorial vs imperative T
+    // factorial. Negative inputs make both diverge; the generator's
+    // input range includes them, and Timeout relates to Timeout.
+    let v = equivalent(
+        &fig17_fact_f(),
+        &fig17_fact_t(),
+        &arrow(vec![fint()], fint()),
+        &EquivCfg { fuel: 4_000, samples: 8, depth: 2, seed: 99 },
+    );
+    assert!(v.is_equiv(), "{v}");
+}
+
+#[test]
+fn fig17_negative_control() {
+    // factT against an off-by-one variant (initial accumulator 2).
+    let bad = lam(
+        vec![("x", fint())],
+        if0(
+            var("x"),
+            fint_e(2),
+            fmul(var("x"), var("x")),
+        ),
+    );
+    let v = equivalent(
+        &fig17_fact_f(),
+        &bad,
+        &arrow(vec![fint()], fint()),
+        &EquivCfg { fuel: 4_000, samples: 8, depth: 2, seed: 99 },
+    );
+    assert!(!v.is_equiv());
+}
+
+#[test]
+fn pure_f_vs_mixed_equivalence() {
+    // A pure F "add two" against the mixed f1 of Fig 16 — equivalence
+    // across languages, the multi-language point of the paper.
+    let pure = lam(vec![("x", fint())], fadd(var("x"), fint_e(2)));
+    let v = equivalent(&pure, &fig16_f1(), &arrow(vec![fint()], fint()), &cfg());
+    assert!(v.is_equiv(), "{v}");
+}
+
+#[test]
+fn base_type_equivalence_and_difference() {
+    let a = fadd(fint_e(40), fint_e(2));
+    let b = fmul(fint_e(6), fint_e(7));
+    let v = equivalent(&a, &b, &fint(), &cfg());
+    assert!(v.is_equiv(), "{v}");
+    let c = fint_e(41);
+    assert!(!equivalent(&a, &c, &fint(), &cfg()).is_equiv());
+}
+
+#[test]
+fn divergence_relates_to_divergence() {
+    // Ω at int (via recursive self-application) relates to a T-level
+    // infinite loop wrapped at int.
+    let mu_ty = fmu("a", arrow(vec![fvar_ty("a")], fint()));
+    let w = lam_z(
+        vec![("f", mu_ty.clone())],
+        "zw",
+        app(funfold(var("f")), vec![var("f")]),
+    );
+    let omega = app(w.clone(), vec![ffold(mu_ty, w)]);
+
+    let spin = boundary(
+        fint(),
+        tcomp(
+            seq(vec![], jmp(loc("spin"))),
+            vec![(
+                "spin",
+                code_block(
+                    vec![],
+                    chi([]),
+                    nil(),
+                    q_end(int(), nil()),
+                    seq(vec![], jmp(loc("spin"))),
+                ),
+            )],
+        ),
+    );
+    let v = equivalent(
+        &omega,
+        &spin,
+        &fint(),
+        &EquivCfg { fuel: 2_000, samples: 2, depth: 1, seed: 5 },
+    );
+    assert!(v.is_equiv(), "{v}");
+}

@@ -1,0 +1,321 @@
+//! The pure-F call-by-value evaluator (small-step, substitution-based).
+//!
+//! Evaluation order follows the paper's evaluation contexts (Fig 5):
+//! binop left-to-right, `if0` scrutinee first, application function then
+//! arguments left-to-right, tuples left-to-right.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use funtal_syntax::subst::subst_fvars;
+use funtal_syntax::FExpr;
+
+/// A runtime error of pure F (well-typed programs never raise one).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FEvalError {
+    /// The expression is stuck (e.g. projecting from a non-tuple).
+    Stuck(String),
+    /// A free variable was reached.
+    Unbound(String),
+    /// A multi-language form reached the pure-F evaluator.
+    MultiLanguage(&'static str),
+}
+
+impl fmt::Display for FEvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FEvalError::Stuck(s) => write!(f, "stuck: {s}"),
+            FEvalError::Unbound(x) => write!(f, "unbound variable {x}"),
+            FEvalError::MultiLanguage(w) => {
+                write!(f, "multi-language form `{w}` not supported by the pure F evaluator")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FEvalError {}
+
+/// One small step, or the report that `e` is already a value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FStep {
+    /// The expression stepped.
+    Stepped(FExpr),
+    /// The expression is a value.
+    Value,
+}
+
+/// Performs one CBV step.
+pub fn step(e: &FExpr) -> Result<FStep, FEvalError> {
+    if e.is_value() {
+        return Ok(FStep::Value);
+    }
+    Ok(FStep::Stepped(step_expr(e)?))
+}
+
+fn step_expr(e: &FExpr) -> Result<FExpr, FEvalError> {
+    debug_assert!(!e.is_value());
+    match e {
+        FExpr::Var(x) => Err(FEvalError::Unbound(x.to_string())),
+        FExpr::Unit | FExpr::Int(_) | FExpr::Lam(_) => unreachable!("values handled"),
+        FExpr::Binop { op, lhs, rhs } => {
+            if !lhs.is_value() {
+                return Ok(FExpr::Binop {
+                    op: *op,
+                    lhs: Box::new(step_expr(lhs)?),
+                    rhs: rhs.clone(),
+                });
+            }
+            if !rhs.is_value() {
+                return Ok(FExpr::Binop {
+                    op: *op,
+                    lhs: lhs.clone(),
+                    rhs: Box::new(step_expr(rhs)?),
+                });
+            }
+            let (FExpr::Int(a), FExpr::Int(b)) = (&**lhs, &**rhs) else {
+                return Err(FEvalError::Stuck(format!("binop on non-integers: {e}")));
+            };
+            Ok(FExpr::Int(op.apply(*a, *b)))
+        }
+        FExpr::If0 { cond, then_branch, else_branch } => {
+            if !cond.is_value() {
+                return Ok(FExpr::If0 {
+                    cond: Box::new(step_expr(cond)?),
+                    then_branch: then_branch.clone(),
+                    else_branch: else_branch.clone(),
+                });
+            }
+            let FExpr::Int(n) = &**cond else {
+                return Err(FEvalError::Stuck(format!("if0 on a non-integer: {e}")));
+            };
+            Ok(if *n == 0 {
+                (**then_branch).clone()
+            } else {
+                (**else_branch).clone()
+            })
+        }
+        FExpr::App { func, args } => {
+            if !func.is_value() {
+                return Ok(FExpr::App {
+                    func: Box::new(step_expr(func)?),
+                    args: args.clone(),
+                });
+            }
+            if let Some(i) = args.iter().position(|a| !a.is_value()) {
+                let mut args = args.clone();
+                args[i] = step_expr(&args[i])?;
+                return Ok(FExpr::App { func: func.clone(), args });
+            }
+            let FExpr::Lam(lam) = &**func else {
+                return Err(FEvalError::Stuck(format!("applying a non-function: {func}")));
+            };
+            if !lam.is_plain() {
+                return Err(FEvalError::MultiLanguage("stack-modifying lambda"));
+            }
+            if lam.params.len() != args.len() {
+                return Err(FEvalError::Stuck(format!(
+                    "arity mismatch: {} params, {} args",
+                    lam.params.len(),
+                    args.len()
+                )));
+            }
+            let map: BTreeMap<_, _> = lam
+                .params
+                .iter()
+                .map(|(x, _)| x.clone())
+                .zip(args.iter().cloned())
+                .collect();
+            Ok(subst_fvars(&lam.body, &map))
+        }
+        FExpr::Fold { ann, body } => Ok(FExpr::Fold {
+            ann: ann.clone(),
+            body: Box::new(step_expr(body)?),
+        }),
+        FExpr::Unfold(body) => {
+            if !body.is_value() {
+                return Ok(FExpr::Unfold(Box::new(step_expr(body)?)));
+            }
+            let FExpr::Fold { body: inner, .. } = &**body else {
+                return Err(FEvalError::Stuck(format!("unfold of a non-fold: {body}")));
+            };
+            Ok((**inner).clone())
+        }
+        FExpr::Tuple(es) => {
+            let Some(i) = es.iter().position(|a| !a.is_value()) else {
+                unreachable!("tuple of values is a value");
+            };
+            let mut es = es.clone();
+            es[i] = step_expr(&es[i])?;
+            Ok(FExpr::Tuple(es))
+        }
+        FExpr::Proj { idx, tuple } => {
+            if !tuple.is_value() {
+                return Ok(FExpr::Proj {
+                    idx: *idx,
+                    tuple: Box::new(step_expr(tuple)?),
+                });
+            }
+            let FExpr::Tuple(vs) = &**tuple else {
+                return Err(FEvalError::Stuck(format!("projection from a non-tuple: {tuple}")));
+            };
+            if *idx == 0 || *idx > vs.len() {
+                return Err(FEvalError::Stuck(format!("pi[{idx}] out of range")));
+            }
+            Ok(vs[*idx - 1].clone())
+        }
+        FExpr::Boundary { .. } => Err(FEvalError::MultiLanguage("boundary")),
+    }
+}
+
+/// The outcome of fuel-bounded evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FOutcome {
+    /// Reached a value.
+    Value(FExpr),
+    /// Fuel ran out (possibly divergent).
+    OutOfFuel(FExpr),
+}
+
+/// Evaluates `e` for at most `fuel` steps.
+pub fn eval(e: &FExpr, fuel: u64) -> Result<FOutcome, FEvalError> {
+    let mut cur = e.clone();
+    for _ in 0..fuel {
+        match step(&cur)? {
+            FStep::Value => return Ok(FOutcome::Value(cur)),
+            FStep::Stepped(next) => cur = next,
+        }
+    }
+    if cur.is_value() {
+        Ok(FOutcome::Value(cur))
+    } else {
+        Ok(FOutcome::OutOfFuel(cur))
+    }
+}
+
+/// Evaluates and counts the steps taken.
+pub fn eval_counting(e: &FExpr, fuel: u64) -> Result<(FOutcome, u64), FEvalError> {
+    let mut cur = e.clone();
+    for i in 0..fuel {
+        match step(&cur)? {
+            FStep::Value => return Ok((FOutcome::Value(cur), i)),
+            FStep::Stepped(next) => cur = next,
+        }
+    }
+    if cur.is_value() {
+        Ok((FOutcome::Value(cur), fuel))
+    } else {
+        Ok((FOutcome::OutOfFuel(cur), fuel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funtal_syntax::build::*;
+
+    fn run(e: &FExpr) -> FExpr {
+        match eval(e, 10_000).unwrap() {
+            FOutcome::Value(v) => v,
+            FOutcome::OutOfFuel(_) => panic!("out of fuel"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_left_to_right() {
+        let e = fadd(fmul(fint_e(2), fint_e(3)), fint_e(4));
+        assert_eq!(run(&e), fint_e(10));
+    }
+
+    #[test]
+    fn beta_reduction() {
+        let inc = lam(vec![("x", fint())], fadd(var("x"), fint_e(1)));
+        assert_eq!(run(&app(inc, vec![fint_e(41)])), fint_e(42));
+    }
+
+    #[test]
+    fn multi_arg_application() {
+        let subf = lam(
+            vec![("x", fint()), ("y", fint())],
+            fsub(var("x"), var("y")),
+        );
+        assert_eq!(run(&app(subf, vec![fint_e(10), fint_e(3)])), fint_e(7));
+    }
+
+    #[test]
+    fn if0_selects_branches() {
+        assert_eq!(run(&if0(fint_e(0), fint_e(1), fint_e(2))), fint_e(1));
+        assert_eq!(run(&if0(fint_e(5), fint_e(1), fint_e(2))), fint_e(2));
+        assert_eq!(run(&if0(fint_e(-1), fint_e(1), fint_e(2))), fint_e(2));
+    }
+
+    #[test]
+    fn tuples_and_projections() {
+        let e = proj(2, ftuple(vec![fint_e(1), fadd(fint_e(2), fint_e(3))]));
+        assert_eq!(run(&e), fint_e(5));
+    }
+
+    #[test]
+    fn unfold_fold_cancels() {
+        let v = ffold(fmu("a", fint()), fint_e(9));
+        assert_eq!(run(&funfold(v)), fint_e(9));
+    }
+
+    #[test]
+    fn factorial_via_self_application() {
+        // The paper's factF (Fig 17): F = λf. λx. if0 x 1 ((unfold f) f (x−1)) * x
+        let mu_ty = fmu("a", arrow(vec![fvar_ty("a"), fint()], fint()));
+        let f_body = lam(
+            vec![("f", mu_ty.clone()), ("x", fint())],
+            if0(
+                var("x"),
+                fint_e(1),
+                fmul(
+                    app(
+                        funfold(var("f")),
+                        vec![var("f"), fsub(var("x"), fint_e(1))],
+                    ),
+                    var("x"),
+                ),
+            ),
+        );
+        let fact = |n: i64| {
+            app(
+                ffold(mu_ty.clone(), f_body.clone()).pipe_unfold(),
+                vec![ffold(mu_ty.clone(), f_body.clone()), fint_e(n)],
+            )
+        };
+        assert_eq!(run(&fact(0)), fint_e(1));
+        assert_eq!(run(&fact(5)), fint_e(120));
+        // Negative input diverges: fuel runs out.
+        let neg = fact(-1);
+        assert!(matches!(eval(&neg, 500).unwrap(), FOutcome::OutOfFuel(_)));
+    }
+
+    trait PipeUnfold {
+        fn pipe_unfold(self) -> FExpr;
+    }
+    impl PipeUnfold for FExpr {
+        fn pipe_unfold(self) -> FExpr {
+            funfold(self)
+        }
+    }
+
+    #[test]
+    fn shadowing_respected() {
+        // (λx. (λx. x)(2) + x)(40) = 42
+        let inner = lam(vec![("x", fint())], var("x"));
+        let outer = lam(
+            vec![("x", fint())],
+            fadd(app(inner, vec![fint_e(2)]), var("x")),
+        );
+        assert_eq!(run(&app(outer, vec![fint_e(40)])), fint_e(42));
+    }
+
+    #[test]
+    fn step_counts() {
+        let e = fadd(fint_e(1), fint_e(2));
+        let (out, steps) = eval_counting(&e, 10).unwrap();
+        assert_eq!(out, FOutcome::Value(fint_e(3)));
+        assert_eq!(steps, 1);
+    }
+}

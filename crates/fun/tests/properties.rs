@@ -1,0 +1,96 @@
+//! Property-based tests for pure F: progress + preservation
+//! (observationally), and determinism of the small-step relation.
+
+use funtal_fun::check::type_of;
+use funtal_fun::eval::{eval_counting, step, FOutcome, FStep};
+use funtal_syntax::alpha::alpha_eq_fty;
+use funtal_syntax::build::*;
+use funtal_syntax::FExpr;
+use proptest::prelude::*;
+
+/// Well-typed closed integer expressions.
+fn arb_int_expr(depth: u32) -> BoxedStrategy<FExpr> {
+    let leaf = (-8i64..9).prop_map(fint_e).boxed();
+    leaf.prop_recursive(depth, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| fadd(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| fsub(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| fmul(a, b)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| if0(c, t, e)),
+            inner.clone().prop_map(|a| app(
+                lam(vec![("x", fint())], fadd(var("x"), var("x"))),
+                vec![a]
+            )),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| proj(2, ftuple(vec![a, b]))),
+            inner
+                .clone()
+                .prop_map(|a| funfold(ffold(fmu("r", fint()), a))),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Progress: a well-typed term is a value or steps. Preservation:
+    /// every intermediate term stays well-typed at the same type.
+    #[test]
+    fn progress_and_preservation(e in arb_int_expr(4)) {
+        let ty = type_of(&Default::default(), &e).unwrap();
+        let mut cur = e;
+        for _ in 0..100_000u32 {
+            // Preservation at each step.
+            let t2 = type_of(&Default::default(), &cur).unwrap();
+            prop_assert!(alpha_eq_fty(&ty, &t2), "type changed: {} vs {}", ty, t2);
+            match step(&cur).unwrap() {
+                FStep::Value => return Ok(()),
+                FStep::Stepped(next) => cur = next,
+            }
+        }
+        prop_assert!(false, "did not terminate");
+    }
+
+    /// The step relation is a function: re-stepping the same term gives
+    /// the same result (determinism of evaluation contexts).
+    #[test]
+    fn step_is_deterministic(e in arb_int_expr(3)) {
+        let a = step(&e).unwrap();
+        let b = step(&e).unwrap();
+        match (a, b) {
+            (FStep::Value, FStep::Value) => {}
+            (FStep::Stepped(x), FStep::Stepped(y)) => prop_assert_eq!(x, y),
+            _ => prop_assert!(false, "nondeterministic"),
+        }
+    }
+
+    /// Step counting is consistent with the fuel bound.
+    #[test]
+    fn counting_matches(e in arb_int_expr(3)) {
+        let (out, steps) = eval_counting(&e, 1_000_000).unwrap();
+        prop_assert!(matches!(out, FOutcome::Value(_)));
+        // Re-running with exactly that much fuel still finishes.
+        let (out2, steps2) = eval_counting(&e, steps + 1).unwrap();
+        prop_assert!(matches!(out2, FOutcome::Value(_)));
+        prop_assert_eq!(steps, steps2);
+    }
+}
+
+#[test]
+fn stuck_terms_report_errors() {
+    // These are ill-typed; the evaluator reports stuckness rather than
+    // panicking.
+    use funtal_fun::eval::eval;
+    let cases = vec![
+        fadd(funit_e(), fint_e(1)),
+        app(fint_e(3), vec![fint_e(1)]),
+        proj(1, fint_e(3)),
+        funfold(fint_e(3)),
+        if0(funit_e(), fint_e(1), fint_e(2)),
+    ];
+    for e in cases {
+        assert!(eval(&e, 100).is_err(), "expected stuck: {e}");
+    }
+}

@@ -1,0 +1,268 @@
+//! The lexer for FunTAL concrete syntax.
+
+use std::fmt;
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tok {
+    /// The token kind.
+    pub kind: TokKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A non-negative integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBrack,
+    /// `]`
+    RBrack,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `::`
+    ColonColon,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `->`
+    Arrow,
+    /// `=`
+    Eq,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokKind::Ident(s) => write!(f, "`{s}`"),
+            TokKind::Int(n) => write!(f, "`{n}`"),
+            TokKind::LParen => f.write_str("`(`"),
+            TokKind::RParen => f.write_str("`)`"),
+            TokKind::LBrack => f.write_str("`[`"),
+            TokKind::RBrack => f.write_str("`]`"),
+            TokKind::LBrace => f.write_str("`{`"),
+            TokKind::RBrace => f.write_str("`}`"),
+            TokKind::Lt => f.write_str("`<`"),
+            TokKind::Gt => f.write_str("`>`"),
+            TokKind::Comma => f.write_str("`,`"),
+            TokKind::Semi => f.write_str("`;`"),
+            TokKind::Colon => f.write_str("`:`"),
+            TokKind::ColonColon => f.write_str("`::`"),
+            TokKind::Dot => f.write_str("`.`"),
+            TokKind::Star => f.write_str("`*`"),
+            TokKind::Plus => f.write_str("`+`"),
+            TokKind::Minus => f.write_str("`-`"),
+            TokKind::Arrow => f.write_str("`->`"),
+            TokKind::Eq => f.write_str("`=`"),
+            TokKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A lexing error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Description.
+    pub msg: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes an input string. `//` starts a line comment.
+pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            out.push(Tok { kind: $kind, line, col });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push!(TokKind::LParen, 1),
+            ')' => push!(TokKind::RParen, 1),
+            '[' => push!(TokKind::LBrack, 1),
+            ']' => push!(TokKind::RBrack, 1),
+            '{' => push!(TokKind::LBrace, 1),
+            '}' => push!(TokKind::RBrace, 1),
+            '<' => push!(TokKind::Lt, 1),
+            '>' => push!(TokKind::Gt, 1),
+            ',' => push!(TokKind::Comma, 1),
+            ';' => push!(TokKind::Semi, 1),
+            '.' => push!(TokKind::Dot, 1),
+            '*' => push!(TokKind::Star, 1),
+            '+' => push!(TokKind::Plus, 1),
+            '=' => push!(TokKind::Eq, 1),
+            ':' => {
+                if bytes.get(i + 1) == Some(&b':') {
+                    push!(TokKind::ColonColon, 2)
+                } else {
+                    push!(TokKind::Colon, 1)
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    push!(TokKind::Arrow, 2)
+                } else {
+                    push!(TokKind::Minus, 1)
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: i64 = text.parse().map_err(|_| LexError {
+                    msg: format!("integer literal `{text}` out of range"),
+                    line,
+                    col,
+                })?;
+                out.push(Tok { kind: TokKind::Int(n), line, col });
+                col += (i - start) as u32;
+            }
+            c if c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Tok {
+                    kind: TokKind::Ident(src[start..i].to_string()),
+                    line,
+                    col,
+                });
+                col += (i - start) as u32;
+            }
+            other => {
+                return Err(LexError {
+                    msg: format!("unexpected character `{other}`"),
+                    line,
+                    col,
+                })
+            }
+        }
+    }
+    out.push(Tok { kind: TokKind::Eof, line, col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("mv r1, 42;"),
+            vec![
+                TokKind::Ident("mv".into()),
+                TokKind::Ident("r1".into()),
+                TokKind::Comma,
+                TokKind::Int(42),
+                TokKind::Semi,
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn compound_tokens() {
+        assert_eq!(
+            kinds("int :: z -> :"),
+            vec![
+                TokKind::Ident("int".into()),
+                TokKind::ColonColon,
+                TokKind::Ident("z".into()),
+                TokKind::Arrow,
+                TokKind::Colon,
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("1 // hello\n2"),
+            vec![TokKind::Int(1), TokKind::Int(2), TokKind::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_illegal_chars() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("a # b").is_err());
+    }
+}

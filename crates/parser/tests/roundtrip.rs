@@ -1,0 +1,178 @@
+//! Pretty-print/parse round-trips: for every figure of the paper and
+//! for generated types, `parse(print(x)) == x`.
+
+use funtal_parser::{parse_fexpr, parse_fty, parse_seq, parse_stack, parse_tcomp, parse_tty};
+use funtal_syntax::alpha::{alpha_eq_fexpr, alpha_eq_fty, alpha_eq_tty};
+use funtal_syntax::build::*;
+use funtal_syntax::{FExpr, TComp};
+use proptest::prelude::*;
+
+fn rt_fexpr(e: &FExpr) {
+    let printed = e.to_string();
+    let parsed = parse_fexpr(&printed)
+        .unwrap_or_else(|err| panic!("reparse failed: {err}\nsource: {printed}"));
+    assert!(
+        alpha_eq_fexpr(&parsed, e),
+        "round-trip changed the term:\n  printed: {printed}\n  reparsed: {parsed}"
+    );
+}
+
+fn rt_tcomp(c: &TComp) {
+    let printed = c.to_string();
+    let parsed = parse_tcomp(&printed)
+        .unwrap_or_else(|err| panic!("reparse failed: {err}\nsource: {printed}"));
+    assert_eq!(&parsed, c, "round-trip changed the component: {printed}");
+}
+
+#[test]
+fn fig3_roundtrip() {
+    rt_tcomp(&funtal_tal::figures::fig3_call_to_call());
+}
+
+#[test]
+fn fig11_roundtrip() {
+    rt_fexpr(&funtal::figures::fig11_jit());
+}
+
+#[test]
+fn fig16_roundtrip() {
+    rt_fexpr(&funtal::figures::fig16_f1());
+    rt_fexpr(&funtal::figures::fig16_f2());
+}
+
+#[test]
+fn fig17_roundtrip() {
+    rt_fexpr(&funtal::figures::fig17_fact_f());
+    rt_fexpr(&funtal::figures::fig17_fact_t());
+}
+
+#[test]
+fn push7_and_mutref_roundtrip() {
+    rt_fexpr(&funtal::figures::push7());
+    rt_fexpr(&funtal::mutref::new_cell());
+    rt_fexpr(&funtal::mutref::get_cell());
+    rt_fexpr(&funtal::mutref::set_cell());
+    rt_fexpr(&funtal::mutref::free_cell());
+    rt_fexpr(&funtal::mutref::cell_demo(3, 4));
+}
+
+#[test]
+fn compiled_code_roundtrip() {
+    use funtal_compile::codegen::{compile_program, CodegenOpts};
+    use funtal_compile::lang::{factorial_program, fib_program};
+    for opts in [
+        CodegenOpts { tail_call_opt: false },
+        CodegenOpts { tail_call_opt: true },
+    ] {
+        for p in [factorial_program(), fib_program()] {
+            for name in p.defs.keys() {
+                rt_fexpr(&compile_program(&p, opts).wrap(name));
+            }
+        }
+    }
+}
+
+#[test]
+fn concrete_syntax_examples() {
+    // Handwritten sources exercise the grammar directly.
+    let t = parse_tty("box forall[z: stk, e: ret]{r1: int; int :: z} ra").unwrap();
+    assert!(t.as_code().is_some());
+
+    let s = parse_stack("int :: unit :: *").unwrap();
+    assert_eq!(s.visible_len(), 2);
+
+    let f = parse_fty("(int, unit)[int :: .; .] -> int").unwrap();
+    assert!(matches!(f, funtal_syntax::FTy::Arrow { .. }));
+
+    let seq = parse_seq("mv r1, 42; salloc 1; sst 0, r1; halt int, int :: * {r1}").unwrap();
+    assert_eq!(seq.instrs.len(), 3);
+
+    let e = parse_fexpr("(lam[z](x: int). x * x)(7) + 1").unwrap();
+    assert_eq!(funtal::typecheck(&e).unwrap(), fint());
+    assert_eq!(
+        funtal::machine::eval_to_value(&e, 1_000).unwrap(),
+        fint_e(50)
+    );
+}
+
+#[test]
+fn parse_errors_have_positions() {
+    let err = parse_fexpr("lam[z](x: int). x +").unwrap_err();
+    assert!(err.line >= 1 && err.col >= 1);
+    let err = parse_tty("box forall[z: badkind]{; *} ra").unwrap_err();
+    assert!(err.to_string().contains("kind"));
+    assert!(parse_fexpr("1 + ").is_err());
+    assert!(parse_fexpr("if0 1 {2}").is_err());
+    assert!(parse_seq("mv r1, 42").is_err(), "missing terminator");
+    assert!(parse_fexpr("lam[z](x: int). x; y").is_err(), "trailing input");
+}
+
+#[test]
+fn keywords_rejected_as_identifiers() {
+    assert!(parse_fexpr("mu").is_err());
+    assert!(parse_fexpr("lam[z](fold: int). fold").is_err());
+    assert!(parse_tty("mu ret. int").is_err());
+}
+
+// --- property-based round trips ------------------------------------------
+
+fn arb_tty(depth: u32) -> BoxedStrategy<funtal_syntax::TTy> {
+    let leaf = prop_oneof![
+        Just(int()),
+        Just(unit()),
+        "[a-c]".prop_map(|s| tvar(&s)),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            ("[a-c]", inner.clone()).prop_map(|(v, t)| mu(&v, t)),
+            ("[a-c]", inner.clone()).prop_map(|(v, t)| exists(&v, t)),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(ref_tuple),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(box_tuple),
+            (prop::collection::vec(inner.clone(), 0..2), inner)
+                .prop_map(|(prefix, t)| code_ty(
+                    vec![d_stk("z"), d_ret("e")],
+                    chi([(r1(), t)]),
+                    stack(prefix, zvar("z")),
+                    q_var("e"),
+                )),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_fty(depth: u32) -> BoxedStrategy<funtal_syntax::FTy> {
+    let leaf = prop_oneof![
+        Just(fint()),
+        Just(funit()),
+        "[a-c]".prop_map(|s| fvar_ty(&s)),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            ("[a-c]", inner.clone()).prop_map(|(v, t)| fmu(&v, t)),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(ftuple_ty),
+            (prop::collection::vec(inner.clone(), 0..3), inner)
+                .prop_map(|(params, ret)| arrow(params, ret)),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tty_roundtrip(t in arb_tty(4)) {
+        let printed = t.to_string();
+        let parsed = parse_tty(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}: {printed}")))?;
+        prop_assert!(alpha_eq_tty(&parsed, &t), "{printed}");
+    }
+
+    #[test]
+    fn fty_roundtrip(t in arb_fty(4)) {
+        let printed = t.to_string();
+        let parsed = parse_fty(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}: {printed}")))?;
+        prop_assert!(alpha_eq_fty(&parsed, &t), "{printed}");
+    }
+}

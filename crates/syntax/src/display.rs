@@ -1,0 +1,486 @@
+//! `Display` implementations producing the concrete syntax accepted by
+//! `funtal-parser`. Pretty-printing then re-parsing yields an
+//! alpha-equivalent (in fact structurally equal) term; this round-trip is
+//! property-tested in the parser crate.
+//!
+//! Conventions:
+//! - stack typings: `int :: unit :: *` (empty stack `*`) or `int :: z`;
+//! - stack prefixes `φ` are dot-terminated: `int :: .`, empty prefix `.`;
+//! - binder lists carry kinds: `forall[a: ty, z: stk, e: ret]`;
+//! - instantiations: types print bare, stacks as `stk(σ)`, markers as
+//!   `ret(q)`;
+//! - binops always print parenthesized, so no precedence is needed.
+
+use std::fmt;
+
+use crate::term::{
+    ArithOp, CodeBlock, Component, FExpr, HeapFrag, HeapVal, Instr, InstrSeq, SmallVal, TComp,
+    Terminator, WordVal,
+};
+use crate::ty::{
+    CodeTy, FTy, HeapTy, HeapTyping, Inst, Kind, Mutability, RegFileTy, RetMarker, StackTail,
+    StackTy, TTy, TyVarDecl,
+};
+
+fn join<T: fmt::Display>(
+    f: &mut fmt::Formatter<'_>,
+    items: impl IntoIterator<Item = T>,
+    sep: &str,
+) -> fmt::Result {
+    let mut first = true;
+    for item in items {
+        if !first {
+            f.write_str(sep)?;
+        }
+        first = false;
+        write!(f, "{item}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Kind::Ty => "ty",
+            Kind::Stack => "stk",
+            Kind::Ret => "ret",
+        })
+    }
+}
+
+impl fmt::Display for TyVarDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.var, self.kind)
+    }
+}
+
+impl fmt::Display for Mutability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Mutability::Ref => "ref",
+            Mutability::Boxed => "box",
+        })
+    }
+}
+
+impl fmt::Display for TTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TTy::Var(v) => write!(f, "{v}"),
+            TTy::Unit => f.write_str("unit"),
+            TTy::Int => f.write_str("int"),
+            TTy::Exists(v, t) => write!(f, "exists {v}. {t}"),
+            TTy::Rec(v, t) => write!(f, "mu {v}. {t}"),
+            TTy::Ref(ts) => {
+                f.write_str("ref <")?;
+                join(f, ts, ", ")?;
+                f.write_str(">")
+            }
+            TTy::Boxed(h) => write!(f, "box {h}"),
+        }
+    }
+}
+
+impl fmt::Display for HeapTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapTy::Tuple(ts) => {
+                f.write_str("<")?;
+                join(f, ts, ", ")?;
+                f.write_str(">")
+            }
+            HeapTy::Code(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Display for CodeTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("forall[")?;
+        join(f, &self.delta, ", ")?;
+        write!(f, "]{{{}; {}}} {}", self.chi, self.sigma, self.q)
+    }
+}
+
+impl fmt::Display for RegFileTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        join(
+            f,
+            self.iter().map(|(r, t)| format!("{r}: {t}")),
+            ", ",
+        )
+    }
+}
+
+impl fmt::Display for StackTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.prefix {
+            write!(f, "{t} :: ")?;
+        }
+        match &self.tail {
+            StackTail::Empty => f.write_str("*"),
+            StackTail::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Displays a stack prefix `φ` in dot-terminated form (`int :: .`).
+pub struct PrefixDisplay<'a>(pub &'a [TTy]);
+
+impl fmt::Display for PrefixDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in self.0 {
+            write!(f, "{t} :: ")?;
+        }
+        f.write_str(".")
+    }
+}
+
+impl fmt::Display for RetMarker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetMarker::Reg(r) => write!(f, "{r}"),
+            RetMarker::Stack(i) => write!(f, "{i}"),
+            RetMarker::Var(v) => write!(f, "{v}"),
+            RetMarker::End { ty, sigma } => write!(f, "end{{{ty}; {sigma}}}"),
+            RetMarker::Out => f.write_str("out"),
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Ty(t) => write!(f, "{t}"),
+            Inst::Stack(s) => write!(f, "stk({s})"),
+            Inst::Ret(q) => write!(f, "ret({q})"),
+        }
+    }
+}
+
+impl fmt::Display for HeapTyping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        join(
+            f,
+            self.iter().map(|(l, (m, h))| format!("{l}: {m} {h}")),
+            ", ",
+        )
+    }
+}
+
+impl fmt::Display for FTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FTy::Var(v) => write!(f, "{v}"),
+            FTy::Unit => f.write_str("unit"),
+            FTy::Int => f.write_str("int"),
+            FTy::Arrow { params, phi_in, phi_out, ret } => {
+                f.write_str("(")?;
+                join(f, params, ", ")?;
+                f.write_str(")")?;
+                if !phi_in.is_empty() || !phi_out.is_empty() {
+                    write!(
+                        f,
+                        "[{}; {}]",
+                        PrefixDisplay(phi_in),
+                        PrefixDisplay(phi_out)
+                    )?;
+                }
+                write!(f, " -> {ret}")
+            }
+            FTy::Rec(v, t) => write!(f, "mu {v}. {t}"),
+            FTy::Tuple(ts) => {
+                f.write_str("<")?;
+                join(f, ts, ", ")?;
+                f.write_str(">")
+            }
+        }
+    }
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+impl fmt::Display for WordVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WordVal::Unit => f.write_str("()"),
+            WordVal::Int(n) => {
+                if *n < 0 {
+                    write!(f, "({n})")
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            WordVal::Loc(l) => write!(f, "{l}"),
+            WordVal::Pack { hidden, body, ann } => {
+                write!(f, "pack <{hidden}, {body}> as {ann}")
+            }
+            WordVal::Fold { ann, body } => write!(f, "fold[{ann}] {body}"),
+            WordVal::Inst { body, args } => {
+                write!(f, "{body}[")?;
+                join(f, args, ", ")?;
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+impl fmt::Display for SmallVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmallVal::Reg(r) => write!(f, "{r}"),
+            SmallVal::Word(w) => write!(f, "{w}"),
+            SmallVal::Pack { hidden, body, ann } => {
+                write!(f, "pack <{hidden}, {body}> as {ann}")
+            }
+            SmallVal::Fold { ann, body } => write!(f, "fold[{ann}] {body}"),
+            SmallVal::Inst { body, args } => {
+                write!(f, "{body}[")?;
+                join(f, args, ", ")?;
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Arith { op, rd, rs, src } => {
+                write!(f, "{} {rd}, {rs}, {src}", op.mnemonic())
+            }
+            Instr::Bnz { r, target } => write!(f, "bnz {r}, {target}"),
+            Instr::Ld { rd, rs, idx } => write!(f, "ld {rd}, {rs}[{idx}]"),
+            Instr::St { rd, idx, rs } => write!(f, "st {rd}[{idx}], {rs}"),
+            Instr::Ralloc { rd, n } => write!(f, "ralloc {rd}, {n}"),
+            Instr::Balloc { rd, n } => write!(f, "balloc {rd}, {n}"),
+            Instr::Mv { rd, src } => write!(f, "mv {rd}, {src}"),
+            Instr::Salloc(n) => write!(f, "salloc {n}"),
+            Instr::Sfree(n) => write!(f, "sfree {n}"),
+            Instr::Sld { rd, idx } => write!(f, "sld {rd}, {idx}"),
+            Instr::Sst { idx, rs } => write!(f, "sst {idx}, {rs}"),
+            Instr::Unpack { tv, rd, src } => write!(f, "unpack <{tv}, {rd}> {src}"),
+            Instr::Unfold { rd, src } => write!(f, "unfold {rd}, {src}"),
+            Instr::Protect { phi, zeta } => {
+                write!(f, "protect {}, {zeta}", PrefixDisplay(phi))
+            }
+            Instr::Import { rd, zeta, protected, ty, body } => {
+                write!(f, "import {rd}, {zeta} = {protected}, TF[{ty}]({body})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jmp(u) => write!(f, "jmp {u}"),
+            Terminator::Call { target, sigma, q } => {
+                write!(f, "call {target} {{{sigma}, {q}}}")
+            }
+            Terminator::Ret { target, val } => write!(f, "ret {target} {{{val}}}"),
+            Terminator::Halt { ty, sigma, val } => {
+                write!(f, "halt {ty}, {sigma} {{{val}}}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for InstrSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in &self.instrs {
+            write!(f, "{i}; ")?;
+        }
+        write!(f, "{}", self.term)
+    }
+}
+
+impl fmt::Display for CodeBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("code[")?;
+        join(f, &self.delta, ", ")?;
+        write!(f, "]{{{}; {}}} {}. {}", self.chi, self.sigma, self.q, self.body)
+    }
+}
+
+impl fmt::Display for HeapVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapVal::Code(b) => write!(f, "{b}"),
+            HeapVal::Tuple { mutability, fields } => {
+                write!(f, "{mutability} <")?;
+                join(f, fields, ", ")?;
+                f.write_str(">")
+            }
+        }
+    }
+}
+
+impl fmt::Display for HeapFrag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        join(
+            f,
+            self.iter().map(|(l, v)| format!("{l} -> {v}")),
+            "; ",
+        )?;
+        f.write_str("}")
+    }
+}
+
+impl fmt::Display for TComp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.heap.is_empty() {
+            write!(f, "({})", self.seq)
+        } else {
+            write!(f, "({}, {})", self.seq, self.heap)
+        }
+    }
+}
+
+impl fmt::Display for FExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FExpr::Var(x) => write!(f, "{x}"),
+            FExpr::Unit => f.write_str("()"),
+            FExpr::Int(n) => {
+                if *n < 0 {
+                    write!(f, "({n})")
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            FExpr::Binop { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            FExpr::If0 { cond, then_branch, else_branch } => {
+                write!(f, "if0 {cond} {{{then_branch}}} {{{else_branch}}}")
+            }
+            FExpr::Lam(lam) => {
+                if lam.is_plain() {
+                    write!(f, "lam[{}](", lam.zeta)?;
+                } else {
+                    write!(
+                        f,
+                        "lam[{}; {}; {}](",
+                        lam.zeta,
+                        PrefixDisplay(&lam.phi_in),
+                        PrefixDisplay(&lam.phi_out)
+                    )?;
+                }
+                join(
+                    f,
+                    lam.params.iter().map(|(x, t)| format!("{x}: {t}")),
+                    ", ",
+                )?;
+                write!(f, "). {}", lam.body)
+            }
+            FExpr::App { func, args } => {
+                match &**func {
+                    FExpr::Var(_) | FExpr::App { .. } | FExpr::Proj { .. } => {
+                        write!(f, "{func}")?
+                    }
+                    other => write!(f, "({other})")?,
+                }
+                f.write_str("(")?;
+                join(f, args, ", ")?;
+                f.write_str(")")
+            }
+            FExpr::Fold { ann, body } => write!(f, "fold[{ann}]({body})"),
+            FExpr::Unfold(body) => write!(f, "unfold({body})"),
+            FExpr::Tuple(es) => {
+                f.write_str("<")?;
+                join(f, es, ", ")?;
+                f.write_str(">")
+            }
+            FExpr::Proj { idx, tuple } => write!(f, "pi[{idx}]({tuple})"),
+            FExpr::Boundary { ty, sigma_out, comp } => match sigma_out {
+                None => write!(f, "FT[{ty}]{comp}"),
+                Some(s) => write!(f, "FT[{ty}; {s}]{comp}"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Component::F(e) => write!(f, "{e}"),
+            Component::T(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Reg, TyVar, VarName};
+    use crate::term::Lam;
+
+    #[test]
+    fn stack_display() {
+        let s = StackTy::var("z").cons(TTy::Int).cons(TTy::Unit);
+        assert_eq!(s.to_string(), "unit :: int :: z");
+        assert_eq!(StackTy::nil().to_string(), "*");
+        assert_eq!(PrefixDisplay(&[]).to_string(), ".");
+        assert_eq!(PrefixDisplay(&[TTy::Int]).to_string(), "int :: .");
+    }
+
+    #[test]
+    fn code_type_display() {
+        let t = TTy::code(
+            vec![TyVarDecl::stack("z"), TyVarDecl::ret("e")],
+            RegFileTy::from_pairs([(Reg::R1, TTy::Int)]),
+            StackTy::var("z"),
+            RetMarker::Var(TyVar::new("e")),
+        );
+        assert_eq!(
+            t.to_string(),
+            "box forall[z: stk, e: ret]{r1: int; z} e"
+        );
+    }
+
+    #[test]
+    fn instr_display() {
+        let i = Instr::Arith {
+            op: ArithOp::Mul,
+            rd: Reg::R1,
+            rs: Reg::R1,
+            src: SmallVal::int(2),
+        };
+        assert_eq!(i.to_string(), "mul r1, r1, 2");
+        let halt = Terminator::Halt {
+            ty: TTy::Int,
+            sigma: StackTy::nil(),
+            val: Reg::R1,
+        };
+        assert_eq!(halt.to_string(), "halt int, * {r1}");
+    }
+
+    #[test]
+    fn fexpr_display() {
+        let e = FExpr::app(
+            FExpr::Lam(Box::new(Lam {
+                params: vec![(VarName::new("x"), FTy::Int)],
+                zeta: TyVar::new("z"),
+                phi_in: vec![],
+                phi_out: vec![],
+                body: FExpr::binop(
+                    ArithOp::Add,
+                    FExpr::Var(VarName::new("x")),
+                    FExpr::Int(1),
+                ),
+            })),
+            vec![FExpr::Int(41)],
+        );
+        assert_eq!(e.to_string(), "(lam[z](x: int). (x + 1))(41)");
+    }
+
+    #[test]
+    fn negative_literals_parenthesized() {
+        assert_eq!(FExpr::Int(-3).to_string(), "(-3)");
+        assert_eq!(WordVal::Int(-3).to_string(), "(-3)");
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the syntactic core: substitution laws,
+//! alpha-equivalence as an equivalence relation, and stack-typing
+//! algebra.
+
+use funtal_syntax::alpha::{alpha_eq_stack, alpha_eq_tty};
+use funtal_syntax::build::*;
+use funtal_syntax::free::{ftv_stack, ftv_tty};
+use funtal_syntax::subst::Subst;
+use funtal_syntax::{Inst, StackTail, StackTy, TTy, TyVar};
+use proptest::prelude::*;
+
+fn arb_tty(depth: u32) -> BoxedStrategy<TTy> {
+    let leaf = prop_oneof![
+        Just(int()),
+        Just(unit()),
+        "[a-d]".prop_map(|s| tvar(&s)),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            ("[a-d]", inner.clone()).prop_map(|(v, t)| mu(&v, t)),
+            ("[a-d]", inner.clone()).prop_map(|(v, t)| exists(&v, t)),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(ref_tuple),
+            prop::collection::vec(inner, 0..3).prop_map(box_tuple),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_stack(depth: u32) -> BoxedStrategy<StackTy> {
+    (
+        prop::collection::vec(arb_tty(depth), 0..4),
+        prop_oneof![
+            Just(StackTail::Empty),
+            "[w-z]".prop_map(|s| StackTail::Var(TyVar::new(s)))
+        ],
+    )
+        .prop_map(|(prefix, tail)| StackTy { prefix, tail })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Substituting for a variable not free in the type is a no-op.
+    #[test]
+    fn subst_fresh_noop(t in arb_tty(3), rep in arb_tty(2)) {
+        let fresh = TyVar::new("qqq");
+        prop_assert!(!ftv_tty(&t).contains(&fresh));
+        let out = Subst::one(fresh, Inst::Ty(rep)).tty(&t);
+        prop_assert!(alpha_eq_tty(&out, &t));
+    }
+
+    /// After substituting a closed type for v, v is no longer free.
+    #[test]
+    fn subst_eliminates_variable(t in arb_tty(3)) {
+        for v in ftv_tty(&t) {
+            let out = Subst::one(v.clone(), Inst::Ty(int())).tty(&t);
+            prop_assert!(!ftv_tty(&out).contains(&v), "{t} -> {out}");
+        }
+    }
+
+    /// Alpha-equivalence is reflexive, and renaming a µ binder preserves
+    /// it.
+    #[test]
+    fn alpha_reflexive_and_rename(t in arb_tty(3)) {
+        prop_assert!(alpha_eq_tty(&t, &t));
+        let wrapped = mu("binder", t.clone());
+        // Renaming the binder to a fresh name preserves alpha-eq.
+        let renamed = match &wrapped {
+            TTy::Rec(v, body) => TTy::Rec(
+                TyVar::new("other"),
+                Box::new(
+                    Subst::one(v.clone(), Inst::Ty(tvar("other"))).tty(body),
+                ),
+            ),
+            _ => unreachable!(),
+        };
+        prop_assert!(alpha_eq_tty(&wrapped, &renamed), "{wrapped} vs {renamed}");
+    }
+
+    /// cons then split(1) is the identity.
+    #[test]
+    fn stack_cons_split(s in arb_stack(2), t in arb_tty(2)) {
+        let pushed = s.cons(t.clone());
+        prop_assert_eq!(pushed.visible_len(), s.visible_len() + 1);
+        let (front, rest) = pushed.split(1).unwrap();
+        prop_assert!(alpha_eq_tty(&front[0], &t));
+        prop_assert!(alpha_eq_stack(&rest, &s));
+    }
+
+    /// Splitting at the full visible length leaves the bare tail.
+    #[test]
+    fn stack_full_split(s in arb_stack(2)) {
+        let n = s.visible_len();
+        let (front, rest) = s.split(n).unwrap();
+        prop_assert_eq!(front.len(), n);
+        prop_assert!(rest.is_bare_tail());
+        prop_assert!(s.split(n + 1).is_none());
+    }
+
+    /// Substituting a stack for its own tail variable splices.
+    #[test]
+    fn stack_tail_subst_splices(prefix in prop::collection::vec(arb_tty(2), 0..3),
+                                rep in arb_stack(2)) {
+        let s = StackTy { prefix: prefix.clone(), tail: StackTail::Var(TyVar::new("zz")) };
+        let out = Subst::one(TyVar::new("zz"), Inst::Stack(rep.clone())).stack(&s);
+        prop_assert_eq!(out.visible_len(), prefix.len() + rep.visible_len());
+        prop_assert_eq!(&out.tail, &rep.tail);
+    }
+
+    /// Free variables of a substituted type are (ftv(t) \ {v}) ∪ ftv(rep)
+    /// when v occurs free.
+    #[test]
+    fn subst_ftv_bound(t in arb_tty(3)) {
+        let vars = ftv_tty(&t);
+        for v in &vars {
+            let rep = tvar("fresh_rep");
+            let out = Subst::one(v.clone(), Inst::Ty(rep)).tty(&t);
+            let out_fv = ftv_tty(&out);
+            prop_assert!(out_fv.contains(&TyVar::new("fresh_rep")));
+            prop_assert!(!out_fv.contains(v));
+            for w in &vars {
+                if w != v {
+                    prop_assert!(out_fv.contains(w));
+                }
+            }
+        }
+    }
+
+    /// Display of a stack never ends with `::` and renders prefix
+    /// lengths faithfully.
+    #[test]
+    fn stack_display_shape(s in arb_stack(2)) {
+        let shown = s.to_string();
+        prop_assert!(!shown.ends_with("::"));
+        prop_assert_eq!(shown.matches(" :: ").count() >= s.visible_len().saturating_sub(0), true);
+        prop_assert!(ftv_stack(&s).len() <= s.visible_len() * 8 + 1);
+    }
+}

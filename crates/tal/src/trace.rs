@@ -1,0 +1,171 @@
+//! Control-flow tracing.
+//!
+//! The machines emit an [`Event`] at every control transfer, which is how
+//! the repository regenerates the paper's control-flow diagrams (Fig 4
+//! and Fig 12) and how benchmarks count machine steps.
+
+use std::fmt;
+
+use funtal_syntax::{FTy, Label, Reg};
+
+/// A control-flow event emitted by the T machine or the FT machine.
+///
+/// The first five variants are pure-T (Fig 4); the rest are emitted only
+/// by the multi-language machine (Fig 12).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// An intra-component `jmp` landed on a block.
+    Jmp {
+        /// Target label.
+        to: Label,
+    },
+    /// A `call` transferred to a component.
+    Call {
+        /// Target label.
+        to: Label,
+    },
+    /// A `ret` jumped back through a continuation.
+    Ret {
+        /// Continuation label.
+        to: Label,
+        /// Register carrying the result.
+        val: Reg,
+    },
+    /// A taken `bnz`.
+    BnzTaken {
+        /// Target label.
+        to: Label,
+    },
+    /// The machine halted with a value in a register.
+    Halt {
+        /// The result register.
+        reg: Reg,
+    },
+    /// One T instruction executed (useful for step counting).
+    Instr,
+    /// Evaluation crossed into a `τFT` boundary (T component begins).
+    BoundaryEnter {
+        /// The boundary's F type.
+        ty: FTy,
+    },
+    /// A boundary's component halted and its value was translated to F.
+    BoundaryExit {
+        /// The boundary's F type.
+        ty: FTy,
+    },
+    /// An `import` began evaluating its F expression.
+    ImportEnter,
+    /// An `import` finished and translated the value into a register.
+    ImportExit {
+        /// Destination register.
+        rd: Reg,
+    },
+    /// An F β-reduction (application of a lambda).
+    FBeta,
+    /// One F reduction step that is not a β (δ, if0, proj, unfold).
+    FStep,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Jmp { to } => write!(f, "jmp -> {to}"),
+            Event::Call { to } => write!(f, "call -> {to}"),
+            Event::Ret { to, val } => write!(f, "ret -> {to} ({val})"),
+            Event::BnzTaken { to } => write!(f, "bnz -> {to}"),
+            Event::Halt { reg } => write!(f, "halt ({reg})"),
+            Event::Instr => write!(f, "instr"),
+            Event::BoundaryEnter { ty } => write!(f, "FT[{ty}] enter"),
+            Event::BoundaryExit { ty } => write!(f, "FT[{ty}] exit"),
+            Event::ImportEnter => write!(f, "import enter"),
+            Event::ImportExit { rd } => write!(f, "import exit -> {rd}"),
+            Event::FBeta => write!(f, "beta"),
+            Event::FStep => write!(f, "fstep"),
+        }
+    }
+}
+
+/// Consumes control-flow events.
+pub trait Tracer {
+    /// Called once per event.
+    fn event(&mut self, e: &Event);
+}
+
+/// Ignores all events.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn event(&mut self, _e: &Event) {}
+}
+
+/// Records all events.
+#[derive(Debug, Default, Clone)]
+pub struct VecTracer {
+    /// The recorded events, in order.
+    pub events: Vec<Event>,
+}
+
+impl VecTracer {
+    /// A new, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Only the control-transfer events (no `Instr`/`FStep` noise) —
+    /// the shape compared against Fig 4 / Fig 12.
+    pub fn transfers(&self) -> Vec<&Event> {
+        self.events
+            .iter()
+            .filter(|e| !matches!(e, Event::Instr | Event::FStep | Event::FBeta))
+            .collect()
+    }
+}
+
+impl Tracer for VecTracer {
+    fn event(&mut self, e: &Event) {
+        self.events.push(e.clone());
+    }
+}
+
+/// Counts events by class; the cheap tracer used by benchmarks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountTracer {
+    /// T instructions executed.
+    pub instrs: u64,
+    /// Control transfers (jmp/call/ret/bnz).
+    pub transfers: u64,
+    /// F reduction steps (β and otherwise).
+    pub f_steps: u64,
+    /// Boundary crossings (enter + exit + import enter/exit).
+    pub crossings: u64,
+}
+
+impl CountTracer {
+    /// A new, zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total work: instructions plus F steps.
+    pub fn total_steps(&self) -> u64 {
+        self.instrs + self.f_steps
+    }
+}
+
+impl Tracer for CountTracer {
+    fn event(&mut self, e: &Event) {
+        match e {
+            Event::Instr => self.instrs += 1,
+            Event::Jmp { .. } | Event::Call { .. } | Event::Ret { .. } | Event::BnzTaken { .. } => {
+                self.transfers += 1
+            }
+            Event::FBeta | Event::FStep => self.f_steps += 1,
+            Event::BoundaryEnter { .. }
+            | Event::BoundaryExit { .. }
+            | Event::ImportEnter
+            | Event::ImportExit { .. } => self.crossings += 1,
+            Event::Halt { .. } => {}
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! E1/E2: Figure 3 type-checks, runs to 2, and its control-flow trace
+//! matches Figure 4; plus machine-level unit tests.
+
+use funtal_syntax::build::*;
+use funtal_syntax::{Label, WordVal};
+use funtal_tal::check::check_program;
+use funtal_tal::figures::fig3_call_to_call;
+use funtal_tal::machine::{run_program, Memory, Outcome};
+use funtal_tal::trace::{CountTracer, Event, NullTracer, VecTracer};
+
+#[test]
+fn fig3_typechecks() {
+    check_program(&fig3_call_to_call(), &int()).unwrap();
+}
+
+#[test]
+fn fig3_runs_to_two() {
+    let out = run_program(&fig3_call_to_call(), 1_000, &mut NullTracer).unwrap();
+    assert_eq!(out, Outcome::Halted(WordVal::Int(2)));
+}
+
+#[test]
+fn fig4_trace_matches_paper() {
+    // Fig 4: f --call--> l1 --call--> l2 --jmp--> l2aux --ret--> l2ret
+    //          --ret--> l1ret --halt-->
+    let mut tr = VecTracer::new();
+    run_program(&fig3_call_to_call(), 1_000, &mut tr).unwrap();
+    let transfers: Vec<&Event> = tr.transfers();
+    let expect = [
+        Event::Call { to: Label::new("l1") },
+        Event::Call { to: Label::new("l2") },
+        Event::Jmp { to: Label::new("l2aux") },
+        Event::Ret { to: Label::new("l2ret"), val: r1() },
+        Event::Ret { to: Label::new("l1ret"), val: r1() },
+        Event::Halt { reg: r1() },
+    ];
+    assert_eq!(transfers.len(), expect.len(), "trace: {transfers:?}");
+    for (got, want) in transfers.iter().zip(&expect) {
+        assert_eq!(*got, want, "full trace: {transfers:?}");
+    }
+}
+
+#[test]
+fn fig3_step_counts_are_stable() {
+    let mut ct = CountTracer::new();
+    run_program(&fig3_call_to_call(), 1_000, &mut ct).unwrap();
+    // 8 straight-line instructions execute: mv, salloc, sst, mv, mv, mul,
+    // sld, sfree.
+    assert_eq!(ct.instrs, 8);
+    assert_eq!(ct.transfers, 5);
+}
+
+#[test]
+fn machine_stack_discipline() {
+    // Build and run: salloc 2; mv r1, 1; sst 1, r1; sld r2, 1;
+    // sfree 2; halt — checks slot indexing (0 = top).
+    let prog = tcomp(
+        seq(
+            vec![
+                salloc(2),
+                mv(r1(), int_v(7)),
+                sst(1, r1()),
+                sld(r2(), 1),
+                sfree(2),
+            ],
+            halt(int(), nil(), r2()),
+        ),
+        vec![],
+    );
+    let out = run_program(&prog, 100, &mut NullTracer).unwrap();
+    assert_eq!(out, Outcome::Halted(WordVal::Int(7)));
+}
+
+#[test]
+fn machine_heap_tuples() {
+    // Push 1, 2; ralloc; mutate field 0; load both fields; compute.
+    let prog = tcomp(
+        seq(
+            vec![
+                mv(r1(), int_v(1)),
+                mv(r2(), int_v(2)),
+                salloc(2),
+                sst(0, r1()),
+                sst(1, r2()),
+                ralloc(r3(), 2),
+                mv(r4(), int_v(10)),
+                st(r3(), 0, r4()),
+                ld(r5(), r3(), 0),
+                ld(r6(), r3(), 1),
+                add(r1(), r5(), reg(r6())),
+            ],
+            halt(int(), nil(), r1()),
+        ),
+        vec![],
+    );
+    let out = run_program(&prog, 100, &mut NullTracer).unwrap();
+    // field0 = 10 (overwritten), field1 = 2 → 12.
+    assert_eq!(out, Outcome::Halted(WordVal::Int(12)));
+}
+
+#[test]
+fn machine_rejects_store_to_boxed() {
+    let prog = tcomp(
+        seq(
+            vec![
+                mv(r1(), int_v(1)),
+                salloc(1),
+                sst(0, r1()),
+                balloc(r3(), 1),
+                st(r3(), 0, r1()),
+            ],
+            halt(int(), nil(), r1()),
+        ),
+        vec![],
+    );
+    let err = run_program(&prog, 100, &mut NullTracer).unwrap_err();
+    assert!(matches!(err, funtal_tal::RuntimeError::ImmutableStore(_)), "{err}");
+}
+
+#[test]
+fn machine_out_of_fuel_on_loop() {
+    // A self-loop: l: jmp l.
+    let prog = tcomp(
+        seq(vec![], jmp(loc("l"))),
+        vec![(
+            "l",
+            code_block(
+                vec![],
+                chi([]),
+                nil(),
+                q_end(int(), nil()),
+                seq(vec![], jmp(loc("l"))),
+            ),
+        )],
+    );
+    let out = run_program(&prog, 50, &mut NullTracer).unwrap();
+    assert_eq!(out, Outcome::OutOfFuel);
+}
+
+#[test]
+fn merge_freshens_colliding_labels() {
+    let block = code_block(
+        vec![],
+        chi([]),
+        nil(),
+        q_end(int(), nil()),
+        seq(vec![], halt(int(), nil(), r1())),
+    );
+    let comp = tcomp(seq(vec![], jmp(loc("l"))), vec![("l", block.clone())]);
+    let mut mem = Memory::new();
+    let seq1 = mem.merge_fragment(&comp);
+    // First merge keeps the name.
+    assert_eq!(seq1.to_string(), "jmp l");
+    // Second merge must rename.
+    let seq2 = mem.merge_fragment(&comp);
+    assert_ne!(seq2.to_string(), "jmp l");
+    assert_eq!(mem.heap.len(), 2);
+}
+
+#[test]
+fn unpack_substitutes_into_rest() {
+    // unpack <a, r1> (pack <int, 5> as exists a. a); halt a, * {r1}
+    // after unpacking, the halt annotation must have become int... the
+    // machine doesn't check types, but the substitution must not crash
+    // and the value must flow.
+    let packed = funtal_syntax::SmallVal::Pack {
+        hidden: int(),
+        body: Box::new(int_v(5)),
+        ann: exists("a", tvar("a")),
+    };
+    let prog = tcomp(
+        seq(
+            vec![unpack("a", r1(), packed)],
+            halt(tvar("a"), nil(), r1()),
+        ),
+        vec![],
+    );
+    let out = run_program(&prog, 100, &mut NullTracer).unwrap();
+    assert_eq!(out, Outcome::Halted(WordVal::Int(5)));
+}
+
+#[test]
+fn bnz_taken_and_not_taken() {
+    let target = code_block(
+        vec![],
+        chi([(r1(), int())]),
+        nil(),
+        q_end(int(), nil()),
+        seq(vec![mv(r1(), int_v(100))], halt(int(), nil(), r1())),
+    );
+    let mk = |n: i64| {
+        tcomp(
+            seq(
+                vec![mv(r1(), int_v(n)), bnz(r1(), loc("t")), mv(r1(), int_v(50))],
+                halt(int(), nil(), r1()),
+            ),
+            vec![("t", target.clone())],
+        )
+    };
+    // Non-zero: branch taken → 100.
+    assert_eq!(
+        run_program(&mk(1), 100, &mut NullTracer).unwrap(),
+        Outcome::Halted(WordVal::Int(100))
+    );
+    // Zero: fall through → 50.
+    assert_eq!(
+        run_program(&mk(0), 100, &mut NullTracer).unwrap(),
+        Outcome::Halted(WordVal::Int(50))
+    );
+}

@@ -1,0 +1,59 @@
+//! Figure 17: the functional factorial `factF` and the imperative
+//! `factT`, run side by side, step-counted, and checked equivalent with
+//! the bounded logical relation.
+//!
+//! ```sh
+//! cargo run --example factorial_two_ways
+//! ```
+
+use funtal::figures::{fig17_fact_f, fig17_fact_t};
+use funtal::machine::{run_fexpr, RunCfg};
+use funtal::typecheck;
+use funtal_equiv::{equivalent, EquivCfg};
+use funtal_syntax::build::*;
+use funtal_tal::trace::CountTracer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ff = fig17_fact_f();
+    let ft = fig17_fact_t();
+    println!("factF : {}", typecheck(&ff)?);
+    println!("factT : {}", typecheck(&ft)?);
+
+    println!("\n n | factF | factT | F-steps (F) | steps (T)");
+    println!("---+-------+-------+-------------+----------");
+    for n in 0..=8 {
+        let mut cf = CountTracer::new();
+        let mut ct = CountTracer::new();
+        let vf = run_fexpr(
+            &app(ff.clone(), vec![fint_e(n)]),
+            RunCfg::with_fuel(1_000_000),
+            &mut cf,
+        )?;
+        let vt = run_fexpr(
+            &app(ft.clone(), vec![fint_e(n)]),
+            RunCfg::with_fuel(1_000_000),
+            &mut ct,
+        )?;
+        let show = |o: &funtal::machine::FtOutcome| match o {
+            funtal::machine::FtOutcome::Value(v) => v.to_string(),
+            _ => "-".to_string(),
+        };
+        println!(
+            "{n:2} | {:>5} | {:>5} | {:>11} | {:>8}",
+            show(&vf),
+            show(&vt),
+            cf.total_steps(),
+            ct.total_steps()
+        );
+    }
+
+    println!("\nchecking factF ≈ factT with the bounded logical relation …");
+    let verdict = equivalent(
+        &ff,
+        &ft,
+        &arrow(vec![fint()], fint()),
+        &EquivCfg { fuel: 4_000, samples: 10, depth: 2, seed: 42 },
+    );
+    println!("verdict: {verdict}");
+    Ok(())
+}

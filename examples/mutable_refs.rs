@@ -1,0 +1,32 @@
+//! The §4.2 mutable-reference library: stack-modifying lambdas give F
+//! controlled access to a mutable stack cell.
+//!
+//! ```sh
+//! cargo run --example mutable_refs
+//! ```
+
+use funtal::machine::eval_to_value;
+use funtal::mutref::{cell_demo, free_cell, get_cell, new_cell, set_cell};
+use funtal::typecheck;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("the library (all stack-modifying lambdas):\n");
+    for (name, f) in [
+        ("new ", new_cell()),
+        ("get ", get_cell()),
+        ("set ", set_cell()),
+        ("free", free_cell()),
+    ] {
+        println!("{name} : {}", typecheck(&f)?);
+    }
+
+    let demo = cell_demo(10, 5);
+    println!("\ndemo program (new 10; set(get() + 5); get(); free):");
+    println!("  {demo}\n");
+    println!("type:  {}", typecheck(&demo)?);
+    println!("value: {}", eval_to_value(&demo, 100_000)?);
+
+    // The cell is invisible to the rest of the program: the whole
+    // expression has type int on an empty stack.
+    Ok(())
+}

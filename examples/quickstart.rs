@@ -1,0 +1,84 @@
+//! Quickstart: build a mixed F/T program three ways (builders, concrete
+//! syntax, compiler), type-check it, and run it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use funtal::machine::eval_to_value;
+use funtal::typecheck;
+use funtal_parser::parse_fexpr;
+use funtal_syntax::build::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Builders: an F program with an embedded assembly component that
+    //    squares its input.
+    let square = lam_z(
+        vec![("x", fint())],
+        "zl",
+        app(
+            boundary(
+                arrow(vec![fint()], fint()),
+                tcomp(
+                    seq(
+                        vec![protect(vec![], "zp"), mv(r1(), loc("sq"))],
+                        halt(
+                            funtal::fty_to_tty(&arrow(vec![fint()], fint())),
+                            zvar("zp"),
+                            r1(),
+                        ),
+                    ),
+                    vec![(
+                        "sq",
+                        code_block(
+                            vec![d_stk("z"), d_ret("e")],
+                            chi([(
+                                ra(),
+                                code_ty(vec![], chi([(r1(), int())]), zvar("z"), q_var("e")),
+                            )]),
+                            stack(vec![int()], zvar("z")),
+                            q_reg(ra()),
+                            seq(
+                                vec![sld(r1(), 0), sfree(1), mul(r1(), r1(), reg(r1()))],
+                                ret(ra(), r1()),
+                            ),
+                        ),
+                    )],
+                ),
+            ),
+            vec![var("x")],
+        ),
+    );
+    let prog = app(square, vec![fint_e(12)]);
+    println!("program: {prog}");
+    println!("type:    {}", typecheck(&prog)?);
+    println!("value:   {}", eval_to_value(&prog, 100_000)?);
+
+    // 2. The same thing in concrete syntax.
+    let src = "FT[int](mv r1, 6; mul r1, r1, 7; halt int, * {r1})";
+    let parsed = parse_fexpr(src)?;
+    println!("\nparsed `{src}`");
+    println!("type:    {}", typecheck(&parsed)?);
+    println!("value:   {}", eval_to_value(&parsed, 1_000)?);
+
+    // 3. Compile a tiny first-order function to assembly and call it
+    //    from F.
+    use funtal_compile::codegen::{compile_program, CodegenOpts};
+    use funtal_compile::lang::{Def, MExpr, Program};
+    use funtal_syntax::ArithOp;
+    let p = Program::new([Def::new(
+        "poly",
+        &["x"],
+        MExpr::bin(
+            ArithOp::Add,
+            MExpr::bin(ArithOp::Mul, MExpr::v("x"), MExpr::v("x")),
+            MExpr::i(1),
+        ),
+    )])?;
+    let compiled = compile_program(&p, CodegenOpts::default());
+    let call = app(compiled.wrap("poly"), vec![fint_e(9)]);
+    println!("\ncompiled poly(x) = x*x + 1, {} blocks", compiled.block_count());
+    println!("type:    {}", typecheck(&call)?);
+    println!("value:   {}", eval_to_value(&call, 100_000)?);
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the FunTAL reproduction: re-exports every
+//! sub-crate and hosts the cross-crate integration tests (`tests/`) and
+//! runnable examples (`examples/`).
+//!
+//! See the individual crates for the system itself:
+//!
+//! - [`funtal_syntax`] — shared abstract syntax;
+//! - [`funtal_tal`] — the typed assembly language T (§3);
+//! - [`funtal_fun`] — the functional language F (§4.1);
+//! - [`funtal`] — the FT multi-language (§4–§5);
+//! - [`funtal_parser`] — concrete syntax;
+//! - [`funtal_equiv`] — the bounded logical relation (§5);
+//! - [`funtal_compile`] — the MiniF→T compiler and JIT runtime (§6).
+
+pub use funtal;
+pub use funtal_compile;
+pub use funtal_equiv;
+pub use funtal_fun;
+pub use funtal_parser;
+pub use funtal_syntax;
+pub use funtal_tal;

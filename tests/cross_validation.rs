@@ -1,0 +1,232 @@
+//! Cross-crate integration: the standalone F and T implementations must
+//! agree with the FT semantics on pure programs, and the full
+//! parse → check → run pipeline holds together.
+
+use funtal::machine::{eval_to_value, run_fexpr, FtOutcome, RunCfg};
+use funtal::{typecheck, typecheck_component};
+use funtal_fun::{eval as feval, type_of, FOutcome};
+use funtal_parser::{parse_fexpr, parse_tcomp};
+use funtal_syntax::build::*;
+use funtal_syntax::{Component, FExpr};
+use funtal_tal::trace::NullTracer;
+use proptest::prelude::*;
+
+// --- pure-F agreement -------------------------------------------------------
+
+fn pure_f_programs() -> Vec<FExpr> {
+    vec![
+        fadd(fint_e(1), fmul(fint_e(2), fint_e(3))),
+        if0(fint_e(0), fint_e(10), fint_e(20)),
+        app(
+            lam(vec![("x", fint()), ("y", fint())], fsub(var("x"), var("y"))),
+            vec![fint_e(10), fint_e(4)],
+        ),
+        proj(2, ftuple(vec![fint_e(1), fadd(fint_e(2), fint_e(3))])),
+        funfold(ffold(fmu("a", fint()), fint_e(7))),
+        app(
+            app(
+                lam(
+                    vec![("f", arrow(vec![fint()], fint()))],
+                    lam_z(vec![("y", fint())], "z2", app(var("f"), vec![var("y")])),
+                ),
+                vec![lam(vec![("x", fint())], fmul(var("x"), fint_e(3)))],
+            ),
+            vec![fint_e(5)],
+        ),
+    ]
+}
+
+#[test]
+fn ft_machine_agrees_with_pure_f_evaluator() {
+    for e in pure_f_programs() {
+        let pure = match feval(&e, 100_000).unwrap() {
+            FOutcome::Value(v) => v,
+            FOutcome::OutOfFuel(_) => panic!("pure F out of fuel on {e}"),
+        };
+        let mixed = eval_to_value(&e, 100_000).unwrap();
+        assert_eq!(pure, mixed, "disagreement on {e}");
+    }
+}
+
+#[test]
+fn ft_checker_agrees_with_pure_f_checker() {
+    for e in pure_f_programs() {
+        let pure_ty = type_of(&Default::default(), &e).unwrap();
+        let ft_ty = typecheck(&e).unwrap();
+        assert!(
+            funtal_syntax::alpha::alpha_eq_fty(&pure_ty, &ft_ty),
+            "checker disagreement on {e}: {pure_ty} vs {ft_ty}"
+        );
+    }
+}
+
+// --- pure-T agreement ---------------------------------------------------------
+
+#[test]
+fn ft_machine_agrees_with_pure_t_machine_on_fig3() {
+    let prog = funtal_tal::figures::fig3_call_to_call();
+    // Pure T machine.
+    let t_out = funtal_tal::machine::run_program(&prog, 1_000, &mut NullTracer).unwrap();
+    // FT machine on the same component.
+    let mut mem = funtal_tal::machine::Memory::new();
+    let ft_out = funtal::machine::run(
+        &mut mem,
+        &Component::T(prog.clone()),
+        RunCfg::with_fuel(1_000),
+        &mut NullTracer,
+    )
+    .unwrap();
+    match (t_out, ft_out) {
+        (funtal_tal::machine::Outcome::Halted(a), FtOutcome::Halted(b)) => assert_eq!(a, b),
+        other => panic!("disagreement: {other:?}"),
+    }
+    // And both checkers accept it.
+    funtal_tal::check::check_program(&prog, &int()).unwrap();
+    typecheck_component(&Component::T(prog), Some(&fint())).unwrap();
+}
+
+// --- parse → check → run pipeline ----------------------------------------------
+
+#[test]
+fn parse_check_run_pipeline() {
+    let src = r"
+        // apply an embedded doubler twice: (2*10)*2 ... via F glue
+        (lam[zl](f: (int) -> int). f(f(10)))(
+            lam[zm](x: int). FT[int](
+                protect ., zp;
+                import r1, zi = zp, TF[int](x);
+                add r1, r1, r1;
+                halt int, zp {r1}))
+    ";
+    let e = parse_fexpr(src).unwrap();
+    assert_eq!(typecheck(&e).unwrap(), fint());
+    assert_eq!(eval_to_value(&e, 100_000).unwrap(), fint_e(40));
+}
+
+#[test]
+fn parse_check_run_pure_t() {
+    let src = r"
+        (mv ra, k; call body {*, end{int; *}},
+         {body -> code[z: stk, e: ret]{ra: box forall[]{r1: int; z} e; z} ra.
+             mv r1, 21; add r1, r1, r1; ret ra {r1};
+          k -> code[]{r1: int; *} end{int; *}. halt int, * {r1}})
+    ";
+    let comp = parse_tcomp(src).unwrap();
+    funtal_tal::check::check_program(&comp, &int()).unwrap();
+    let out = funtal_tal::machine::run_program(&comp, 100, &mut NullTracer).unwrap();
+    assert_eq!(out, funtal_tal::machine::Outcome::Halted(funtal_syntax::WordVal::Int(42)));
+}
+
+// --- type-safety properties (E11) -----------------------------------------------
+
+/// A generator of well-typed closed pure-F integer expressions.
+fn arb_int_expr(depth: u32) -> BoxedStrategy<FExpr> {
+    let leaf = (-20i64..21).prop_map(fint_e).boxed();
+    leaf.prop_recursive(depth, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| fadd(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| fmul(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| fsub(a, b)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| if0(c, t, e)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| app(
+                    lam(vec![("x", fint()), ("y", fint())], fadd(var("x"), var("y"))),
+                    vec![a, b],
+                )),
+            inner
+                .clone()
+                .prop_map(|a| proj(1, ftuple(vec![a, funit_e()]))),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Progress + preservation, observationally: generated well-typed
+    /// programs never get stuck, and the FT machine agrees with the
+    /// pure evaluator.
+    #[test]
+    fn type_safety_generated_programs(e in arb_int_expr(4)) {
+        prop_assert_eq!(typecheck(&e).unwrap(), fint());
+        let pure = match feval(&e, 1_000_000).unwrap() {
+            FOutcome::Value(v) => v,
+            FOutcome::OutOfFuel(_) => unreachable!("arith programs terminate"),
+        };
+        let mixed = eval_to_value(&e, 1_000_000).unwrap();
+        prop_assert_eq!(pure, mixed);
+    }
+
+    /// The dynamic guard never fires on well-typed mixed programs
+    /// (fig16-shaped wrappers around generated arithmetic).
+    #[test]
+    fn guard_never_fires_on_well_typed(n in -50i64..50) {
+        let f1 = funtal::figures::fig16_f1();
+        let prog = app(f1, vec![fint_e(n)]);
+        let out = run_fexpr(
+            &prog,
+            RunCfg { fuel: 100_000, guard: true },
+            &mut NullTracer,
+        ).unwrap();
+        prop_assert_eq!(out, FtOutcome::Value(fint_e(n + 2)));
+    }
+}
+
+// --- ill-typed programs are rejected, and the guard catches tampering ------------
+
+#[test]
+fn guard_catches_ill_typed_jump() {
+    // Hand-build a *wrong* program: jump to a block expecting an int in
+    // r1 without setting it. The static checker rejects it; running
+    // with the guard faults instead of silently misbehaving.
+    let bad = tcomp(
+        seq(vec![], jmp(loc("needs_r1"))),
+        vec![(
+            "needs_r1",
+            code_block(
+                vec![],
+                chi([(r1(), int())]),
+                nil(),
+                q_end(int(), nil()),
+                seq(vec![], halt(int(), nil(), r1())),
+            ),
+        )],
+    );
+    assert!(funtal_tal::check::check_program(&bad, &int()).is_err());
+    let mut mem = funtal_tal::machine::Memory::new();
+    let seq0 = mem.merge_fragment(&bad);
+    let err = funtal_tal::machine::step_seq_opts(
+        &mut mem,
+        seq0,
+        &mut NullTracer,
+        funtal_tal::machine::MachineOpts { guard: true },
+    )
+    .unwrap_err();
+    assert!(matches!(err, funtal_tal::RuntimeError::GuardViolation(_)), "{err}");
+}
+
+#[test]
+fn ill_typed_programs_rejected() {
+    // A few mixed-language type errors across crates.
+    let cases: Vec<FExpr> = vec![
+        // boundary type lies about the halt type
+        boundary(
+            fint(),
+            tcomp(
+                seq(vec![mv(r1(), unit_v())], halt(unit(), nil(), r1())),
+                vec![],
+            ),
+        ),
+        // arithmetic on unit
+        fadd(funit_e(), fint_e(1)),
+        // projection out of range
+        proj(3, ftuple(vec![fint_e(1)])),
+        // application arity
+        app(lam(vec![("x", fint())], var("x")), vec![]),
+    ];
+    for e in cases {
+        assert!(typecheck(&e).is_err(), "should be ill-typed: {e}");
+    }
+}
