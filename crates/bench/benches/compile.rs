@@ -36,8 +36,12 @@ fn compile_time(c: &mut Criterion) {
     let mut g = c.benchmark_group("compile_time");
     for (name, p) in [("fact", factorial_program()), ("fib", fib_program())] {
         for opts in [
-            CodegenOpts { tail_call_opt: false },
-            CodegenOpts { tail_call_opt: true },
+            CodegenOpts {
+                tail_call_opt: false,
+            },
+            CodegenOpts {
+                tail_call_opt: true,
+            },
         ] {
             let id = format!("{name}_tco_{}", opts.tail_call_opt);
             g.bench_function(BenchmarkId::new("compile", id), |b| {
@@ -51,8 +55,20 @@ fn compile_time(c: &mut Criterion) {
 fn interpreted_vs_compiled(c: &mut Criterion) {
     let p = factorial_program();
     let interp = def_to_fexpr(&p.defs["fact"], &Default::default());
-    let plain = compile_program(&p, CodegenOpts { tail_call_opt: false }).wrap("fact");
-    let tco = compile_program(&p, CodegenOpts { tail_call_opt: true }).wrap("fact");
+    let plain = compile_program(
+        &p,
+        CodegenOpts {
+            tail_call_opt: false,
+        },
+    )
+    .wrap("fact");
+    let tco = compile_program(
+        &p,
+        CodegenOpts {
+            tail_call_opt: true,
+        },
+    )
+    .wrap("fact");
 
     println!("[jit]  n | interpreted steps | compiled steps | compiled+tco steps");
     for n in [4i64, 8, 12] {
@@ -83,9 +99,7 @@ fn interpreted_vs_compiled(c: &mut Criterion) {
         ] {
             let prog = app(f, vec![fint_e(n)]);
             g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
-                b.iter(|| {
-                    run_fexpr(&prog, RunCfg::with_fuel(10_000_000), &mut NullTracer).unwrap()
-                })
+                b.iter(|| run_fexpr(&prog, RunCfg::with_fuel(10_000_000), &mut NullTracer).unwrap())
             });
         }
     }
@@ -94,8 +108,20 @@ fn interpreted_vs_compiled(c: &mut Criterion) {
     // The TCO ablation on a tail-recursive sum: the loopified version
     // needs neither per-level stack growth nor return blocks.
     let sp = sum_program();
-    let sum_plain = compile_program(&sp, CodegenOpts { tail_call_opt: false }).wrap("sum");
-    let sum_tco = compile_program(&sp, CodegenOpts { tail_call_opt: true }).wrap("sum");
+    let sum_plain = compile_program(
+        &sp,
+        CodegenOpts {
+            tail_call_opt: false,
+        },
+    )
+    .wrap("sum");
+    let sum_tco = compile_program(
+        &sp,
+        CodegenOpts {
+            tail_call_opt: true,
+        },
+    )
+    .wrap("sum");
     println!("[tco]  n | sum compiled steps | sum compiled+tco steps");
     for n in [16i64, 64] {
         let count = |f: &funtal_syntax::FExpr| {
@@ -108,16 +134,18 @@ fn interpreted_vs_compiled(c: &mut Criterion) {
             .unwrap();
             ct.total_steps()
         };
-        println!("[tco] {n:2} | {:>18} | {:>22}", count(&sum_plain), count(&sum_tco));
+        println!(
+            "[tco] {n:2} | {:>18} | {:>22}",
+            count(&sum_plain),
+            count(&sum_tco)
+        );
     }
     let mut g = c.benchmark_group("tail_call_ablation");
     for n in [64i64] {
         for (name, f) in [("plain", sum_plain.clone()), ("tco", sum_tco.clone())] {
             let prog = app(f, vec![fint_e(n), fint_e(0)]);
             g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
-                b.iter(|| {
-                    run_fexpr(&prog, RunCfg::with_fuel(10_000_000), &mut NullTracer).unwrap()
-                })
+                b.iter(|| run_fexpr(&prog, RunCfg::with_fuel(10_000_000), &mut NullTracer).unwrap())
             });
         }
     }
@@ -161,5 +189,10 @@ fn translation_depth(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, compile_time, interpreted_vs_compiled, translation_depth);
+criterion_group!(
+    benches,
+    compile_time,
+    interpreted_vs_compiled,
+    translation_depth
+);
 criterion_main!(benches);

@@ -208,5 +208,10 @@ fn boundary_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, typecheck_scaling, machine_throughput, boundary_overhead);
+criterion_group!(
+    benches,
+    typecheck_scaling,
+    machine_throughput,
+    boundary_overhead
+);
 criterion_main!(benches);

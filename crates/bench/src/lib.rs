@@ -1,1 +1,10 @@
 //! Benchmark harness support crate (see `benches/`).
+//!
+//! The measurable code all lives in the other crates; this crate exists
+//! to host the three bench binaries (`compile`, `figures`, `scaling`)
+//! and their shared dev-dependencies. Run them with
+//! `cargo bench -p funtal-bench`; set `BENCH_OUTPUT=/path.json` to
+//! capture a machine-readable snapshot (see `BENCH_baseline.json` at
+//! the repo root).
+
+#![warn(missing_docs)]

@@ -175,8 +175,11 @@ impl<'d> Builder<'d> {
         if self.nonleaf {
             prefix.push(cont_ty());
         }
-        prefix.extend(std::iter::repeat(b::int()).take(self.n));
-        StackTy { prefix, tail: StackTail::Var(TyVar::new("z")) }
+        prefix.extend(std::iter::repeat_n(b::int(), self.n));
+        StackTy {
+            prefix,
+            tail: StackTail::Var(TyVar::new("z")),
+        }
     }
 
     /// The return marker at temp depth `k`.
@@ -278,7 +281,11 @@ impl<'d> Builder<'d> {
                 });
                 Flow::FallThrough
             }
-            MExpr::If0 { cond, then_branch, else_branch } => {
+            MExpr::If0 {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.expr(cond, false);
                 let else_l = self.fresh_label("else");
                 let join_l = self.fresh_label("join");
@@ -309,10 +316,8 @@ impl<'d> Builder<'d> {
                 Flow::FallThrough
             }
             MExpr::Call { callee, args } => {
-                let is_self_tail = tail
-                    && self.opts.tail_call_opt
-                    && *callee == self.def.name
-                    && self.nonleaf;
+                let is_self_tail =
+                    tail && self.opts.tail_call_opt && *callee == self.def.name && self.nonleaf;
                 let k0 = self.k;
                 for a in args {
                     self.expr(a, false);
@@ -379,10 +384,7 @@ pub fn compile_def(def: &Def, opts: CodegenOpts) -> Vec<(Label, HeapVal)> {
                 tail: StackTail::Var(TyVar::new("z")),
             },
             q: RetMarker::Reg(b::ra()),
-            body: InstrSeq::new(
-                vec![b::salloc(1), b::sst(0, b::ra())],
-                jump_to(&body_label),
-            ),
+            body: InstrSeq::new(vec![b::salloc(1), b::sst(0, b::ra())], jump_to(&body_label)),
         };
         bld.blocks.push((entry_label, entry_block));
         bld.start_block(Label::new(body_label), vec![]);
@@ -399,7 +401,10 @@ pub fn compile_def(def: &Def, opts: CodegenOpts) -> Vec<(Label, HeapVal)> {
         } else {
             bld.emit(b::sfree(n));
         }
-        bld.finish_block(Terminator::Ret { target: b::ra(), val: b::r1() });
+        bld.finish_block(Terminator::Ret {
+            target: b::ra(),
+            val: b::r1(),
+        });
     } else {
         debug_assert!(bld.current.is_none(), "diverted flow leaves no open block");
     }
@@ -416,7 +421,11 @@ fn has_self_tail(e: &MExpr, name: &str, tail: bool) -> bool {
         MExpr::Binop { lhs, rhs, .. } => {
             has_self_tail(lhs, name, false) || has_self_tail(rhs, name, false)
         }
-        MExpr::If0 { cond, then_branch, else_branch } => {
+        MExpr::If0 {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             has_self_tail(cond, name, false)
                 || has_self_tail(then_branch, name, tail)
                 || has_self_tail(else_branch, name, tail)
@@ -464,7 +473,10 @@ mod tests {
             typecheck(&app(f, vec![fint_e(5), fint_e(3)])).unwrap(),
             fint()
         );
-        assert_eq!(run_compiled(&p, CodegenOpts::default(), "addmul", &[5, 3]), 28);
+        assert_eq!(
+            run_compiled(&p, CodegenOpts::default(), "addmul", &[5, 3]),
+            28
+        );
     }
 
     #[test]
@@ -479,16 +491,26 @@ mod tests {
             ),
         )])
         .unwrap();
-        assert_eq!(run_compiled(&p, CodegenOpts::default(), "absish", &[0]), 100);
-        assert_eq!(run_compiled(&p, CodegenOpts::default(), "absish", &[-4]), 16);
+        assert_eq!(
+            run_compiled(&p, CodegenOpts::default(), "absish", &[0]),
+            100
+        );
+        assert_eq!(
+            run_compiled(&p, CodegenOpts::default(), "absish", &[-4]),
+            16
+        );
     }
 
     #[test]
     fn recursive_factorial_compiles_both_ways() {
         let p = factorial_program();
         for opts in [
-            CodegenOpts { tail_call_opt: false },
-            CodegenOpts { tail_call_opt: true },
+            CodegenOpts {
+                tail_call_opt: false,
+            },
+            CodegenOpts {
+                tail_call_opt: true,
+            },
         ] {
             for n in 0..8 {
                 assert_eq!(
@@ -521,19 +543,28 @@ mod tests {
         )])
         .unwrap();
         for opts in [
-            CodegenOpts { tail_call_opt: false },
-            CodegenOpts { tail_call_opt: true },
+            CodegenOpts {
+                tail_call_opt: false,
+            },
+            CodegenOpts {
+                tail_call_opt: true,
+            },
         ] {
             assert_eq!(run_compiled(&p, opts, "sum", &[10, 0]), 55, "{opts:?}");
         }
         // The loopified version contains a *_loop block and no *_ret
         // block for the self call.
-        let compiled = compile_program(&p, CodegenOpts { tail_call_opt: true });
-        assert!(compiled
+        let compiled = compile_program(
+            &p,
+            CodegenOpts {
+                tail_call_opt: true,
+            },
+        );
+        assert!(compiled.heap.iter().any(|(l, _)| l.as_str() == "sum_loop"));
+        assert!(!compiled
             .heap
             .iter()
-            .any(|(l, _)| l.as_str() == "sum_loop"));
-        assert!(!compiled.heap.iter().any(|(l, _)| l.as_str().contains("_ret")));
+            .any(|(l, _)| l.as_str().contains("_ret")));
     }
 
     #[test]
@@ -541,7 +572,14 @@ mod tests {
         let p = fib_program();
         assert_eq!(run_compiled(&p, CodegenOpts::default(), "fib", &[10]), 55);
         assert_eq!(
-            run_compiled(&p, CodegenOpts { tail_call_opt: true }, "double_fib", &[8]),
+            run_compiled(
+                &p,
+                CodegenOpts {
+                    tail_call_opt: true
+                },
+                "double_fib",
+                &[8]
+            ),
             42
         );
     }
@@ -556,8 +594,12 @@ mod tests {
             (fib_program(), "double_fib", 1),
         ] {
             for opts in [
-                CodegenOpts { tail_call_opt: false },
-                CodegenOpts { tail_call_opt: true },
+                CodegenOpts {
+                    tail_call_opt: false,
+                },
+                CodegenOpts {
+                    tail_call_opt: true,
+                },
             ] {
                 let compiled = compile_program(&p, opts);
                 let f = compiled.wrap(name);

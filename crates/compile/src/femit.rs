@@ -19,7 +19,7 @@ use crate::lang::{Def, MExpr};
 /// self-recursive definition.
 pub fn self_mu_ty(arity: usize) -> FTy {
     let mut params = vec![fvar_ty("a")];
-    params.extend(std::iter::repeat(fint()).take(arity));
+    params.extend(std::iter::repeat_n(fint(), arity));
     fmu("a", arrow(params, fint()))
 }
 
@@ -77,7 +77,7 @@ pub fn def_to_fexpr(def: &Def, materialized: &BTreeMap<String, FExpr>) -> FExpr 
 
 fn fresh_self_name(def: &Def) -> VarName {
     let mut name = format!("self_{}", def.name);
-    while def.params.iter().any(|p| *p == name) {
+    while def.params.contains(&name) {
         name.push('_');
     }
     VarName::new(name)
@@ -97,7 +97,11 @@ fn conv(
             conv(lhs, def, self_var, materialized),
             conv(rhs, def, self_var, materialized),
         ),
-        MExpr::If0 { cond, then_branch, else_branch } => if0(
+        MExpr::If0 {
+            cond,
+            then_branch,
+            else_branch,
+        } => if0(
             conv(cond, def, self_var, materialized),
             conv(then_branch, def, self_var, materialized),
             conv(else_branch, def, self_var, materialized),

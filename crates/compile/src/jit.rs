@@ -97,7 +97,8 @@ impl Jit {
             };
             done.insert(n, e);
         }
-        done.remove(name).expect("materialize of a defined function")
+        done.remove(name)
+            .expect("materialize of a defined function")
     }
 
     /// Invokes `name(args)` under the current configuration, bumping
@@ -138,7 +139,13 @@ mod tests {
 
     #[test]
     fn jit_flips_to_compiled_after_threshold() {
-        let mut jit = Jit::new(factorial_program(), 2, CodegenOpts { tail_call_opt: true });
+        let mut jit = Jit::new(
+            factorial_program(),
+            2,
+            CodegenOpts {
+                tail_call_opt: true,
+            },
+        );
         assert_eq!(jit.mode("fact"), Mode::Interpreted);
         let s1 = jit.invoke("fact", &[6], 5_000_000).unwrap();
         assert_eq!(s1.result, 720);

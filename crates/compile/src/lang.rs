@@ -59,7 +59,11 @@ impl MExpr {
 
     /// Binary operation.
     pub fn bin(op: ArithOp, l: MExpr, r: MExpr) -> MExpr {
-        MExpr::Binop { op, lhs: Box::new(l), rhs: Box::new(r) }
+        MExpr::Binop {
+            op,
+            lhs: Box::new(l),
+            rhs: Box::new(r),
+        }
     }
 
     /// Conditional.
@@ -73,7 +77,10 @@ impl MExpr {
 
     /// Call.
     pub fn call(callee: &str, args: Vec<MExpr>) -> MExpr {
-        MExpr::Call { callee: callee.to_string(), args }
+        MExpr::Call {
+            callee: callee.to_string(),
+            args,
+        }
     }
 
     fn callees(&self, out: &mut BTreeSet<String>) {
@@ -83,7 +90,11 @@ impl MExpr {
                 lhs.callees(out);
                 rhs.callees(out);
             }
-            MExpr::If0 { cond, then_branch, else_branch } => {
+            MExpr::If0 {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 cond.callees(out);
                 then_branch.callees(out);
                 else_branch.callees(out);
@@ -175,7 +186,11 @@ impl fmt::Display for MiniFError {
         match self {
             MiniFError::UndefinedFunction(n) => write!(f, "undefined function {n}"),
             MiniFError::UnboundVar(x) => write!(f, "unbound variable {x}"),
-            MiniFError::Arity { callee, expected, found } => {
+            MiniFError::Arity {
+                callee,
+                expected,
+                found,
+            } => {
                 write!(f, "{callee} expects {expected} arguments, got {found}")
             }
             MiniFError::MutualRecursion(a, b) => {
@@ -250,7 +265,11 @@ impl Program {
                 self.check_expr(def, lhs)?;
                 self.check_expr(def, rhs)
             }
-            MExpr::If0 { cond, then_branch, else_branch } => {
+            MExpr::If0 {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.check_expr(def, cond)?;
                 self.check_expr(def, then_branch)?;
                 self.check_expr(def, else_branch)
@@ -277,12 +296,7 @@ impl Program {
     pub fn topo_order(&self) -> Vec<String> {
         let mut order = Vec::new();
         let mut done: BTreeSet<String> = BTreeSet::new();
-        fn visit(
-            p: &Program,
-            name: &str,
-            done: &mut BTreeSet<String>,
-            order: &mut Vec<String>,
-        ) {
+        fn visit(p: &Program, name: &str, done: &mut BTreeSet<String>, order: &mut Vec<String>) {
             if done.contains(name) {
                 return;
             }
@@ -307,12 +321,7 @@ impl Program {
     ///
     /// Returns [`MiniFError::DepthExceeded`] when the call depth passes
     /// `max_depth` (the analogue of running out of fuel).
-    pub fn eval(
-        &self,
-        fname: &str,
-        args: &[i64],
-        max_depth: u32,
-    ) -> Result<i64, MiniFError> {
+    pub fn eval(&self, fname: &str, args: &[i64], max_depth: u32) -> Result<i64, MiniFError> {
         let def = self
             .defs
             .get(fname)
@@ -350,7 +359,11 @@ impl Program {
                 let b = self.eval_expr(rhs, env, depth)?;
                 Ok(op.apply(a, b))
             }
-            MExpr::If0 { cond, then_branch, else_branch } => {
+            MExpr::If0 {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 if self.eval_expr(cond, env, depth)? == 0 {
                     self.eval_expr(then_branch, env, depth)
                 } else {
@@ -379,7 +392,10 @@ pub fn factorial_program() -> Program {
             MExpr::i(1),
             MExpr::bin(
                 ArithOp::Mul,
-                MExpr::call("fact", vec![MExpr::bin(ArithOp::Sub, MExpr::v("n"), MExpr::i(1))]),
+                MExpr::call(
+                    "fact",
+                    vec![MExpr::bin(ArithOp::Sub, MExpr::v("n"), MExpr::i(1))],
+                ),
                 MExpr::v("n"),
             ),
         ),
@@ -467,12 +483,9 @@ mod tests {
             Err(MiniFError::MutualRecursion(..))
         ));
         // Self-recursion is fine.
-        assert!(Program::new([Def::new(
-            "f",
-            &["x"],
-            MExpr::call("f", vec![MExpr::v("x")])
-        )])
-        .is_ok());
+        assert!(
+            Program::new([Def::new("f", &["x"], MExpr::call("f", vec![MExpr::v("x")]))]).is_ok()
+        );
     }
 
     #[test]

@@ -20,7 +20,12 @@ use proptest::prelude::*;
 // grows each step), so the step index is kept small; every convergent
 // sample terminates well within it.
 fn cfg() -> EquivCfg {
-    EquivCfg { fuel: 1_500, samples: 5, depth: 2, seed: 7 }
+    EquivCfg {
+        fuel: 1_500,
+        samples: 5,
+        depth: 2,
+        seed: 7,
+    }
 }
 
 #[test]
@@ -28,11 +33,20 @@ fn compiled_factorial_equiv_interpreted() {
     let p = factorial_program();
     let interpreted = def_to_fexpr(&p.defs["fact"], &BTreeMap::new());
     for opts in [
-        CodegenOpts { tail_call_opt: false },
-        CodegenOpts { tail_call_opt: true },
+        CodegenOpts {
+            tail_call_opt: false,
+        },
+        CodegenOpts {
+            tail_call_opt: true,
+        },
     ] {
         let compiled = compile_program(&p, opts).wrap("fact");
-        let v = equivalent(&interpreted, &compiled, &arrow(vec![fint()], fint()), &cfg());
+        let v = equivalent(
+            &interpreted,
+            &compiled,
+            &arrow(vec![fint()], fint()),
+            &cfg(),
+        );
         assert!(v.is_equiv(), "{opts:?}: {v}");
     }
 }
@@ -41,8 +55,20 @@ fn compiled_factorial_equiv_interpreted() {
 fn tail_call_ablation_is_semantics_preserving() {
     // The two codegen configurations must be equivalent to each other.
     let p = factorial_program();
-    let plain = compile_program(&p, CodegenOpts { tail_call_opt: false }).wrap("fact");
-    let looped = compile_program(&p, CodegenOpts { tail_call_opt: true }).wrap("fact");
+    let plain = compile_program(
+        &p,
+        CodegenOpts {
+            tail_call_opt: false,
+        },
+    )
+    .wrap("fact");
+    let looped = compile_program(
+        &p,
+        CodegenOpts {
+            tail_call_opt: true,
+        },
+    )
+    .wrap("fact");
     let v = equivalent(&plain, &looped, &arrow(vec![fint()], fint()), &cfg());
     assert!(v.is_equiv(), "{v}");
 }
@@ -52,7 +78,12 @@ fn mixed_configuration_equiv() {
     // double_fib interpreted, fib compiled — a genuinely mixed
     // configuration (F code applying a boundary-wrapped component).
     let p = fib_program();
-    let compiled = compile_program(&p, CodegenOpts { tail_call_opt: true });
+    let compiled = compile_program(
+        &p,
+        CodegenOpts {
+            tail_call_opt: true,
+        },
+    );
     let mut mat = BTreeMap::new();
     mat.insert("fib".to_string(), compiled.wrap("fib"));
     let mixed = def_to_fexpr(&p.defs["double_fib"], &mat);
@@ -68,7 +99,12 @@ fn mixed_configuration_equiv() {
         &pure,
         &mixed,
         &arrow(vec![fint()], fint()),
-        &EquivCfg { fuel: 2_000, samples: 4, depth: 2, seed: 13 },
+        &EquivCfg {
+            fuel: 2_000,
+            samples: 4,
+            depth: 2,
+            seed: 13,
+        },
     );
     assert!(v.is_equiv(), "{v}");
 }
@@ -94,14 +130,13 @@ fn arb_body(n_params: usize, depth: u32) -> BoxedStrategy<MExpr> {
     let sub = arb_body(n_params, depth - 1);
     prop_oneof![
         leaf,
-        (sub.clone(), sub.clone(), prop_oneof![
-            Just(ArithOp::Add),
-            Just(ArithOp::Sub),
-            Just(ArithOp::Mul)
-        ])
+        (
+            sub.clone(),
+            sub.clone(),
+            prop_oneof![Just(ArithOp::Add), Just(ArithOp::Sub), Just(ArithOp::Mul)]
+        )
             .prop_map(|(a, b, op)| MExpr::bin(op, a, b)),
-        (sub.clone(), sub.clone(), sub.clone())
-            .prop_map(|(c, t, e)| MExpr::if0(c, t, e)),
+        (sub.clone(), sub.clone(), sub.clone()).prop_map(|(c, t, e)| MExpr::if0(c, t, e)),
     ]
     .boxed()
 }
@@ -146,7 +181,11 @@ fn clamp_params(e: &MExpr, n: usize) -> MExpr {
         MExpr::Binop { op, lhs, rhs } => {
             MExpr::bin(*op, clamp_params(lhs, n), clamp_params(rhs, n))
         }
-        MExpr::If0 { cond, then_branch, else_branch } => MExpr::if0(
+        MExpr::If0 {
+            cond,
+            then_branch,
+            else_branch,
+        } => MExpr::if0(
             clamp_params(cond, n),
             clamp_params(then_branch, n),
             clamp_params(else_branch, n),

@@ -55,7 +55,10 @@ impl FtCtx {
     }
 
     fn with_sigma(&self, sigma: StackTy) -> Self {
-        FtCtx { sigma, ..self.clone() }
+        FtCtx {
+            sigma,
+            ..self.clone()
+        }
     }
 }
 
@@ -119,7 +122,11 @@ pub fn type_of_fexpr(ctx: &FtCtx, e: &FExpr) -> TResult<(FTy, StackTy)> {
             expect_fty(&FTy::Int, &tr, "right operand")?;
             Ok((FTy::Int, s2))
         }
-        FExpr::If0 { cond, then_branch, else_branch } => {
+        FExpr::If0 {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             let (tc, s0) = type_of_fexpr(ctx, cond)?;
             expect_fty(&FTy::Int, &tc, "if0 condition")?;
             let branch_ctx = ctx.with_sigma(s0);
@@ -181,7 +188,13 @@ pub fn type_of_fexpr(ctx: &FtCtx, e: &FExpr) -> TResult<(FTy, StackTy)> {
         }
         FExpr::App { func, args } => {
             let (tf, mut s) = type_of_fexpr(ctx, func)?;
-            let FTy::Arrow { params, phi_in, phi_out, ret } = &tf else {
+            let FTy::Arrow {
+                params,
+                phi_in,
+                phi_out,
+                ret,
+            } = &tf
+            else {
                 return Err(TypeError::wrong_form("a function", &tf));
             };
             if params.len() != args.len() {
@@ -241,11 +254,18 @@ pub fn type_of_fexpr(ctx: &FtCtx, e: &FExpr) -> TResult<(FTy, StackTy)> {
                 return Err(TypeError::wrong_form("a tuple", &t));
             };
             if *idx == 0 || *idx > ts.len() {
-                return Err(TypeError::BadFieldIndex { idx: *idx, width: ts.len() });
+                return Err(TypeError::BadFieldIndex {
+                    idx: *idx,
+                    width: ts.len(),
+                });
             }
             Ok((ts[*idx - 1].clone(), s))
         }
-        FExpr::Boundary { ty, sigma_out, comp } => {
+        FExpr::Boundary {
+            ty,
+            sigma_out,
+            comp,
+        } => {
             wf_fty(&ctx.delta, ty)?;
             let sigma_prime = sigma_out.clone().unwrap_or_else(|| ctx.sigma.clone());
             wf_stack(&ctx.delta, &sigma_prime)?;
@@ -271,13 +291,16 @@ fn check_protect(tctx: &TCtx, phi: &[TTy], zeta: &funtal_syntax::TyVar) -> TResu
     if tctx.delta.lookup(zeta).is_some() {
         return Err(TypeError::DuplicateTyVar(zeta.clone()));
     }
-    let (front, rest) = tctx.sigma.split(phi.len()).ok_or_else(|| TypeError::StackShape {
-        need: format!(
-            "visible prefix {}",
-            funtal_syntax::display::PrefixDisplay(phi)
-        ),
-        found: tctx.sigma.clone(),
-    })?;
+    let (front, rest) = tctx
+        .sigma
+        .split(phi.len())
+        .ok_or_else(|| TypeError::StackShape {
+            need: format!(
+                "visible prefix {}",
+                funtal_syntax::display::PrefixDisplay(phi)
+            ),
+            found: tctx.sigma.clone(),
+        })?;
     for (have, want) in front.iter().zip(phi) {
         if !alpha_eq_tty(have, want) {
             return Err(TypeError::mismatch("protect prefix", want, have));
@@ -302,7 +325,10 @@ fn check_protect(tctx: &TCtx, phi: &[TTy], zeta: &funtal_syntax::TyVar) -> TResu
             })?;
             RetMarker::End {
                 ty: ty.clone(),
-                sigma: StackTy { prefix: exposed, tail: StackTail::Var(zeta.clone()) },
+                sigma: StackTy {
+                    prefix: exposed,
+                    tail: StackTail::Var(zeta.clone()),
+                },
             }
         }
         other => other.clone(),
@@ -311,7 +337,10 @@ fn check_protect(tctx: &TCtx, phi: &[TTy], zeta: &funtal_syntax::TyVar) -> TResu
         psi: tctx.psi.clone(),
         delta: tctx.delta.extended(TyVarDecl::stack(zeta.clone())),
         chi: tctx.chi.clone(),
-        sigma: StackTy { prefix: front, tail: StackTail::Var(zeta.clone()) },
+        sigma: StackTy {
+            prefix: front,
+            tail: StackTail::Var(zeta.clone()),
+        },
         q,
     })
 }
@@ -382,7 +411,10 @@ fn check_import(
     // σ' = φ' :: σ0.
     let mut prefix = out_prefix;
     prefix.extend(protected.prefix.iter().cloned());
-    let sigma = StackTy { prefix, tail: protected.tail.clone() };
+    let sigma = StackTy {
+        prefix,
+        tail: protected.tail.clone(),
+    };
     Ok(TCtx {
         psi: tctx.psi.clone(),
         delta: tctx.delta.clone(),
@@ -399,9 +431,13 @@ pub fn check_tcomp(tctx: &TCtx, gamma: &Gamma, comp: &TComp) -> TResult<(TTy, St
     let gamma = gamma.clone();
     let mut hook = |c: &TCtx, instr: &Instr| match instr {
         Instr::Protect { phi, zeta } => Some(check_protect(c, phi, zeta)),
-        Instr::Import { rd, zeta, protected, ty, body } => {
-            Some(check_import(c, &gamma, *rd, zeta, protected, ty, body))
-        }
+        Instr::Import {
+            rd,
+            zeta,
+            protected,
+            ty,
+            body,
+        } => Some(check_import(c, &gamma, *rd, zeta, protected, ty, body)),
         _ => None,
     };
     check_component_with(tctx, comp, &mut hook)

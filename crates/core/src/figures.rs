@@ -78,22 +78,14 @@ pub fn fig16_f2() -> FExpr {
     let block1 = int_to_int_block(
         vec![],
         seq(
-            vec![
-                sld(r1(), 0),
-                add(r1(), r1(), int_v(1)),
-                sst(0, r1()),
-            ],
+            vec![sld(r1(), 0), add(r1(), r1(), int_v(1)), sst(0, r1())],
             jmp(loc_i("l2", vec![i_stk(zvar("z")), i_ret(q_var("e"))])),
         ),
     );
     let block2 = int_to_int_block(
         vec![],
         seq(
-            vec![
-                sld(r1(), 0),
-                add(r1(), r1(), int_v(1)),
-                sfree(1),
-            ],
+            vec![sld(r1(), 0), add(r1(), r1(), int_v(1)), sfree(1)],
             ret(ra(), r1()),
         ),
     );
@@ -133,10 +125,7 @@ pub fn fig17_fact_f() -> FExpr {
             var("x"),
             fint_e(1),
             fmul(
-                app(
-                    funfold(var("f")),
-                    vec![var("f"), fsub(var("x"), fint_e(1))],
-                ),
+                app(funfold(var("f")), vec![var("f"), fsub(var("x"), fint_e(1))]),
                 var("x"),
             ),
         ),
@@ -161,7 +150,10 @@ pub fn fig17_fact_t() -> FExpr {
             vec![
                 sld(r3(), 0),
                 mv(r7(), int_v(1)),
-                bnz(r3(), loc_i("lloop", vec![i_stk(zvar("z")), i_ret(q_var("e"))])),
+                bnz(
+                    r3(),
+                    loc_i("lloop", vec![i_stk(zvar("z")), i_ret(q_var("e"))]),
+                ),
                 sfree(1),
                 mv(r1(), reg(r7())),
             ],
@@ -175,7 +167,10 @@ pub fn fig17_fact_t() -> FExpr {
             vec![
                 mul(r7(), r7(), reg(r3())),
                 sub(r3(), r3(), int_v(1)),
-                bnz(r3(), loc_i("lloop", vec![i_stk(zvar("z")), i_ret(q_var("e"))])),
+                bnz(
+                    r3(),
+                    loc_i("lloop", vec![i_stk(zvar("z")), i_ret(q_var("e"))]),
+                ),
                 sfree(1),
                 mv(r1(), reg(r7())),
             ],
@@ -211,11 +206,7 @@ pub fn fig11_jit() -> FExpr {
     let tau_g_t = fty_to_tty(&tau_g);
 
     // g = λ(h : (int)→int). h 1
-    let g = lam_z(
-        vec![("h", int_arrow)],
-        "zg",
-        app(var("h"), vec![fint_e(1)]),
-    );
+    let g = lam_z(vec![("h", int_arrow)], "zg", app(var("h"), vec![fint_e(1)]));
 
     // H(ℓ): load g off the stack, push ℓh as its argument, save the
     // continuation on the stack, install ℓgret, and call back into F.
@@ -231,7 +222,10 @@ pub fn fig11_jit() -> FExpr {
                 mv(r2(), loc("lh")),
                 sst(0, r2()),
                 sst(1, ra()),
-                mv(ra(), loc_i("lgret", vec![i_stk(zvar("z")), i_ret(q_var("e"))])),
+                mv(
+                    ra(),
+                    loc_i("lgret", vec![i_stk(zvar("z")), i_ret(q_var("e"))]),
+                ),
             ],
             call(
                 reg(r1()),

@@ -47,6 +47,6 @@ pub mod machine;
 pub mod mutref;
 pub mod translate;
 
-pub use check::{typecheck, typecheck_component, type_of_fexpr, FtCtx, Gamma};
+pub use check::{type_of_fexpr, typecheck, typecheck_component, FtCtx, Gamma};
 pub use machine::{eval_to_value, run, run_fexpr, FtOutcome, RunCfg};
 pub use translate::{f_to_t, fty_to_tty, t_to_f};

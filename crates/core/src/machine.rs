@@ -32,14 +32,20 @@ pub struct RunCfg {
 
 impl Default for RunCfg {
     fn default() -> Self {
-        RunCfg { fuel: 1_000_000, guard: false }
+        RunCfg {
+            fuel: 1_000_000,
+            guard: false,
+        }
     }
 }
 
 impl RunCfg {
     /// A configuration with the given fuel.
     pub fn with_fuel(fuel: u64) -> Self {
-        RunCfg { fuel, ..Self::default() }
+        RunCfg {
+            fuel,
+            ..Self::default()
+        }
     }
 
     fn opts(&self) -> MachineOpts {
@@ -118,7 +124,11 @@ fn step_redex(
             tracer.event(&Event::FStep);
             Ok(FExpr::Int(op.apply(*a, *b)))
         }
-        FExpr::If0 { cond, then_branch, else_branch } => {
+        FExpr::If0 {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             if !cond.is_value() {
                 return Ok(FExpr::If0 {
                     cond: Box::new(step_redex(mem, cond, tracer, opts)?),
@@ -130,7 +140,11 @@ fn step_redex(
                 return Err(RuntimeError::Stuck(format!("if0 on a non-integer: {e}")));
             };
             tracer.event(&Event::FStep);
-            Ok(if *n == 0 { (**then_branch).clone() } else { (**else_branch).clone() })
+            Ok(if *n == 0 {
+                (**then_branch).clone()
+            } else {
+                (**else_branch).clone()
+            })
         }
         FExpr::App { func, args } => {
             if !func.is_value() {
@@ -142,10 +156,15 @@ fn step_redex(
             if let Some(i) = args.iter().position(|a| !a.is_value()) {
                 let mut args = args.clone();
                 args[i] = step_redex(mem, &args[i], tracer, opts)?;
-                return Ok(FExpr::App { func: func.clone(), args });
+                return Ok(FExpr::App {
+                    func: func.clone(),
+                    args,
+                });
             }
             let FExpr::Lam(lam) = &**func else {
-                return Err(RuntimeError::Stuck(format!("applying a non-function: {func}")));
+                return Err(RuntimeError::Stuck(format!(
+                    "applying a non-function: {func}"
+                )));
             };
             if lam.params.len() != args.len() {
                 return Err(RuntimeError::Stuck(format!(
@@ -169,7 +188,9 @@ fn step_redex(
         }),
         FExpr::Unfold(body) => {
             if !body.is_value() {
-                return Ok(FExpr::Unfold(Box::new(step_redex(mem, body, tracer, opts)?)));
+                return Ok(FExpr::Unfold(Box::new(step_redex(
+                    mem, body, tracer, opts,
+                )?)));
             }
             let FExpr::Fold { body: inner, .. } = &**body else {
                 return Err(RuntimeError::Stuck(format!("unfold of a non-fold: {body}")));
@@ -193,7 +214,9 @@ fn step_redex(
                 });
             }
             let FExpr::Tuple(vs) = &**tuple else {
-                return Err(RuntimeError::Stuck(format!("projection from non-tuple: {tuple}")));
+                return Err(RuntimeError::Stuck(format!(
+                    "projection from non-tuple: {tuple}"
+                )));
             };
             if *idx == 0 || *idx > vs.len() {
                 return Err(RuntimeError::Stuck(format!("pi[{idx}] out of range")));
@@ -201,7 +224,11 @@ fn step_redex(
             tracer.event(&Event::FStep);
             Ok(vs[*idx - 1].clone())
         }
-        FExpr::Boundary { ty, sigma_out, comp } => {
+        FExpr::Boundary {
+            ty,
+            sigma_out,
+            comp,
+        } => {
             // Merge the local heap fragment on first contact.
             if !comp.heap.is_empty() {
                 tracer.event(&Event::BoundaryEnter { ty: ty.clone() });
@@ -214,7 +241,9 @@ fn step_redex(
             }
             // Fig 8: boundary around a halt value translates.
             if comp.seq.is_halt_value() {
-                let Terminator::Halt { val, .. } = &comp.seq.term else { unreachable!() };
+                let Terminator::Halt { val, .. } = &comp.seq.term else {
+                    unreachable!()
+                };
                 let w = mem.reg(*val)?.clone();
                 let v = t_to_f(mem, &w, ty)?;
                 tracer.event(&Event::BoundaryExit { ty: ty.clone() });
@@ -247,14 +276,26 @@ fn step_ft_seq(
             seq.instrs.remove(0);
             Ok(seq)
         }
-        Some(Instr::Import { rd, zeta, protected, ty, body }) => {
+        Some(Instr::Import {
+            rd,
+            zeta,
+            protected,
+            ty,
+            body,
+        }) => {
             if body.is_value() {
                 // Fig 8: import of a value becomes mv rd, w.
                 let w = f_to_t(mem, body, ty)?;
                 tracer.event(&Event::ImportExit { rd: *rd });
                 let rd = *rd;
                 seq.instrs.remove(0);
-                seq.instrs.insert(0, Instr::Mv { rd, src: SmallVal::Word(w) });
+                seq.instrs.insert(
+                    0,
+                    Instr::Mv {
+                        rd,
+                        src: SmallVal::Word(w),
+                    },
+                );
                 Ok(seq)
             } else {
                 let next = step_redex(mem, body, tracer, opts)?;
@@ -304,7 +345,9 @@ pub fn run(
             let mut seq = mem.merge_fragment(c);
             for _ in 0..cfg.fuel {
                 if seq.is_halt_value() {
-                    let Terminator::Halt { val, .. } = &seq.term else { unreachable!() };
+                    let Terminator::Halt { val, .. } = &seq.term else {
+                        unreachable!()
+                    };
                     let w = mem.reg(*val)?.clone();
                     tracer.event(&Event::Halt { reg: *val });
                     return Ok(FtOutcome::Halted(w));
@@ -354,7 +397,11 @@ pub fn run_fexpr_threaded<T: Tracer + Send + 'static>(
 ///
 /// Propagates machine errors; returns `Stuck` if fuel runs out.
 pub fn eval_to_value(e: &FExpr, fuel: u64) -> RResult<FExpr> {
-    match run_fexpr(e, RunCfg::with_fuel(fuel), &mut funtal_tal::trace::NullTracer)? {
+    match run_fexpr(
+        e,
+        RunCfg::with_fuel(fuel),
+        &mut funtal_tal::trace::NullTracer,
+    )? {
         FtOutcome::Value(v) => Ok(v),
         FtOutcome::Halted(w) => Err(RuntimeError::Stuck(format!(
             "expected an F value, program halted in T with {w}"

@@ -104,11 +104,7 @@ pub fn free_cell() -> FExpr {
             zvar("z"),
             tcomp(
                 seq(
-                    vec![
-                        protect(vec![int()], "z2"),
-                        sfree(1),
-                        mv(r1(), unit_v()),
-                    ],
+                    vec![protect(vec![int()], "z2"), sfree(1), mv(r1(), unit_v())],
                     halt(unit(), zvar("z2"), r1()),
                 ),
                 vec![],
@@ -177,7 +173,10 @@ mod tests {
 
     #[test]
     fn cell_demo_runs_under_guard() {
-        let cfg = RunCfg { fuel: 10_000, guard: true };
+        let cfg = RunCfg {
+            fuel: 10_000,
+            guard: true,
+        };
         let out = run_fexpr(&super::cell_demo(7, 1), cfg, &mut NullTracer).unwrap();
         assert_eq!(out, FtOutcome::Value(fint_e(8)));
     }

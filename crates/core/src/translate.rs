@@ -67,7 +67,12 @@ pub fn fty_to_tty(t: &FTy) -> TTy {
         FTy::Int => TTy::Int,
         FTy::Rec(a, body) => TTy::Rec(a.clone(), Box::new(fty_to_tty(body))),
         FTy::Tuple(ts) => TTy::boxed_tuple(ts.iter().map(fty_to_tty).collect()),
-        FTy::Arrow { params, phi_in, phi_out, ret } => {
+        FTy::Arrow {
+            params,
+            phi_in,
+            phi_out,
+            ret,
+        } => {
             // Prefer parseable names for the generated binders (`z`,
             // `e`, then `z1`, `e1`, …), so translated types appearing in
             // static annotations survive a print/parse round trip.
@@ -115,7 +120,10 @@ pub fn arrow_code_ty(
             funtal_syntax::TyVarDecl::ret(e.clone()),
         ],
         RegFileTy::from_pairs([(b::ra(), cont)]),
-        StackTy { prefix, tail: StackTail::Var(z.clone()) },
+        StackTy {
+            prefix,
+            tail: StackTail::Var(z.clone()),
+        },
         RetMarker::Reg(b::ra()),
     )
 }
@@ -126,7 +134,10 @@ pub fn arrow_cont_ty(phi_out: &[TTy], ret: &FTy, z: &TyVar, e: &TyVar) -> TTy {
     TTy::code(
         vec![],
         RegFileTy::from_pairs([(b::r1(), fty_to_tty(ret))]),
-        StackTy { prefix: phi_out.to_vec(), tail: StackTail::Var(z.clone()) },
+        StackTy {
+            prefix: phi_out.to_vec(),
+            tail: StackTail::Var(z.clone()),
+        },
         RetMarker::Var(e.clone()),
     )
 }
@@ -151,7 +162,10 @@ pub fn f_to_t(mem: &mut Memory, v: &FExpr, ty: &FTy) -> RResult<WordVal> {
         (FExpr::Fold { body, .. }, FTy::Rec(..)) => {
             let inner_ty = unroll_fty(ty).expect("checked Rec");
             let w = f_to_t(mem, body, &inner_ty)?;
-            Ok(WordVal::Fold { ann: fty_to_tty(ty), body: Box::new(w) })
+            Ok(WordVal::Fold {
+                ann: fty_to_tty(ty),
+                body: Box::new(w),
+            })
         }
         (FExpr::Tuple(vs), FTy::Tuple(ts)) => {
             if vs.len() != ts.len() {
@@ -163,13 +177,24 @@ pub fn f_to_t(mem: &mut Memory, v: &FExpr, ty: &FTy) -> RResult<WordVal> {
             for (v, t) in vs.iter().zip(ts) {
                 fields.push(f_to_t(mem, v, t)?);
             }
-            let l = mem.alloc("tup", HeapVal::Tuple {
-                mutability: Mutability::Boxed,
-                fields,
-            });
+            let l = mem.alloc(
+                "tup",
+                HeapVal::Tuple {
+                    mutability: Mutability::Boxed,
+                    fields,
+                },
+            );
             Ok(WordVal::Loc(l))
         }
-        (FExpr::Lam(lam), FTy::Arrow { params, phi_in, phi_out, ret }) => {
+        (
+            FExpr::Lam(lam),
+            FTy::Arrow {
+                params,
+                phi_in,
+                phi_out,
+                ret,
+            },
+        ) => {
             if lam.params.len() != params.len() {
                 return Err(RuntimeError::Stuck(format!(
                     "lambda arity does not match boundary type: {v} vs {ty}"
@@ -204,7 +229,10 @@ pub fn lambda_glue_block(
     // Entry stack τ̄𝒯 :: φi :: z.
     let mut entry_prefix: Vec<TTy> = params.iter().rev().map(fty_to_tty).collect();
     entry_prefix.extend(phi_in.iter().cloned());
-    let entry_sigma = StackTy { prefix: entry_prefix.clone(), tail: StackTail::Var(z.clone()) };
+    let entry_sigma = StackTy {
+        prefix: entry_prefix.clone(),
+        tail: StackTail::Var(z.clone()),
+    };
 
     // e_body = (λ[zo; τ̄𝒯::φi; φo](x̄). (λ[zp; φi; φo](d). v x̄) popper)
     //          fetch₁ … fetchₙ
@@ -309,7 +337,13 @@ pub fn lambda_glue_block(
         chi: RegFileTy::from_pairs([(b::ra(), cont)]),
         sigma: entry_sigma,
         q: RetMarker::Reg(b::ra()),
-        body: InstrSeq::new(instrs, Terminator::Ret { target: b::ra(), val: b::r1() }),
+        body: InstrSeq::new(
+            instrs,
+            Terminator::Ret {
+                target: b::ra(),
+                val: b::r1(),
+            },
+        ),
     }
 }
 
@@ -325,7 +359,10 @@ pub fn t_to_f(mem: &mut Memory, w: &WordVal, ty: &FTy) -> RResult<FExpr> {
         (WordVal::Fold { body, .. }, FTy::Rec(..)) => {
             let inner_ty = unroll_fty(ty).expect("checked Rec");
             let v = t_to_f(mem, body, &inner_ty)?;
-            Ok(FExpr::Fold { ann: ty.clone(), body: Box::new(v) })
+            Ok(FExpr::Fold {
+                ann: ty.clone(),
+                body: Box::new(v),
+            })
         }
         (WordVal::Loc(l), FTy::Tuple(ts)) => {
             let HeapVal::Tuple { fields, .. } = mem.heap_get(l)?.clone() else {
@@ -342,7 +379,15 @@ pub fn t_to_f(mem: &mut Memory, w: &WordVal, ty: &FTy) -> RResult<FExpr> {
             }
             Ok(FExpr::Tuple(out))
         }
-        (_, FTy::Arrow { params, phi_in, phi_out, ret }) => {
+        (
+            _,
+            FTy::Arrow {
+                params,
+                phi_in,
+                phi_out,
+                ret,
+            },
+        ) => {
             // Any code-pointer-shaped word (a location, possibly under
             // pending instantiations) can be wrapped.
             wrap_code_as_lambda(mem, w.clone(), params, phi_in, phi_out, ret)
@@ -367,8 +412,7 @@ fn wrap_code_as_lambda(
         || phi_in.iter().any(|t| !ftv_tty(t).is_empty());
     if free_prefix {
         return Err(RuntimeError::Stuck(
-            "cannot wrap a code pointer whose arrow prefixes have free type variables"
-                .to_string(),
+            "cannot wrap a code pointer whose arrow prefixes have free type variables".to_string(),
         ));
     }
     let ret_tty = fty_to_tty(ret);
@@ -377,7 +421,10 @@ fn wrap_code_as_lambda(
 
     // ℓend = code[z2: stk]{r1: τ'𝒯; φo :: z2} end{τ'𝒯; φo :: z2}.
     //           halt τ'𝒯, φo :: z2 {r1}
-    let end_sigma = StackTy { prefix: phi_out.to_vec(), tail: StackTail::Var(z2.clone()) };
+    let end_sigma = StackTy {
+        prefix: phi_out.to_vec(),
+        tail: StackTail::Var(z2.clone()),
+    };
     let lend = mem.alloc(
         "lend",
         HeapVal::Code(CodeBlock {
@@ -417,7 +464,10 @@ fn wrap_code_as_lambda(
         funtal_syntax::SmallVal::loc(lend.as_str())
             .instantiate(vec![funtal_syntax::Inst::Stack(StackTy::var(z.clone()))]),
     ));
-    let out_sigma = StackTy { prefix: phi_out.to_vec(), tail: StackTail::Var(z.clone()) };
+    let out_sigma = StackTy {
+        prefix: phi_out.to_vec(),
+        tail: StackTail::Var(z.clone()),
+    };
     let comp = TComp::bare(InstrSeq::new(
         instrs,
         Terminator::Call {
@@ -557,7 +607,9 @@ mod tests {
         let mut mem = Memory::new();
         let v = lam(vec![("x", fint())], fadd(var("x"), fint_e(1)));
         let w = f_to_t(&mut mem, &v, &arrow(vec![fint()], fint())).unwrap();
-        let WordVal::Loc(l) = &w else { panic!("expected a location") };
+        let WordVal::Loc(l) = &w else {
+            panic!("expected a location")
+        };
         assert!(matches!(mem.heap_get(l).unwrap(), HeapVal::Code(_)));
     }
 
@@ -566,7 +618,9 @@ mod tests {
         let mut mem = Memory::new();
         let w = WordVal::Loc(funtal_syntax::Label::new("somecode"));
         let v = t_to_f(&mut mem, &w, &arrow(vec![fint()], fint())).unwrap();
-        let FExpr::Lam(lam) = &v else { panic!("expected a lambda") };
+        let FExpr::Lam(lam) = &v else {
+            panic!("expected a lambda")
+        };
         assert_eq!(lam.params.len(), 1);
         // ℓend was allocated.
         assert_eq!(mem.heap.len(), 1);

@@ -5,7 +5,7 @@ use funtal::check::typecheck;
 use funtal::figures::*;
 use funtal::machine::{eval_to_value, run_fexpr, FtOutcome, RunCfg};
 use funtal_syntax::build::*;
-use funtal_syntax::Label;
+
 use funtal_tal::trace::{Event, NullTracer, VecTracer};
 
 fn apply_int(f: &funtal_syntax::FExpr, n: i64) -> funtal_syntax::FExpr {
@@ -114,8 +114,18 @@ fn fig17_fact_t_uses_fewer_steps() {
     use funtal_tal::trace::CountTracer;
     let mut cf = CountTracer::new();
     let mut ct = CountTracer::new();
-    run_fexpr(&apply_int(&fig17_fact_f(), 10), RunCfg::with_fuel(1_000_000), &mut cf).unwrap();
-    run_fexpr(&apply_int(&fig17_fact_t(), 10), RunCfg::with_fuel(1_000_000), &mut ct).unwrap();
+    run_fexpr(
+        &apply_int(&fig17_fact_f(), 10),
+        RunCfg::with_fuel(1_000_000),
+        &mut cf,
+    )
+    .unwrap();
+    run_fexpr(
+        &apply_int(&fig17_fact_t(), 10),
+        RunCfg::with_fuel(1_000_000),
+        &mut ct,
+    )
+    .unwrap();
     assert!(
         ct.total_steps() < cf.total_steps(),
         "factT {} steps vs factF {} steps",
@@ -153,15 +163,15 @@ fn fig12_control_flow_shape() {
             Event::Ret { to, .. } => Some(format!("ret {to}")),
             _ => None,
         })
-        .filter(|s| {
-            ["enter l", "enter lh", "ret lgret"]
-                .iter()
-                .any(|k| s == k)
-        })
+        .filter(|s| ["enter l", "enter lh", "ret lgret"].iter().any(|k| s == k))
         .collect();
     assert_eq!(
         named,
-        vec!["enter l".to_string(), "enter lh".to_string(), "ret lgret".to_string()],
+        vec![
+            "enter l".to_string(),
+            "enter lh".to_string(),
+            "ret lgret".to_string()
+        ],
         "full trace: {:?}",
         tr.transfers()
     );
@@ -170,21 +180,22 @@ fn fig12_control_flow_shape() {
     let crossings = tr
         .events
         .iter()
-        .filter(|e| {
-            matches!(
-                e,
-                Event::BoundaryExit { .. } | Event::ImportExit { .. }
-            )
-        })
+        .filter(|e| matches!(e, Event::BoundaryExit { .. } | Event::ImportExit { .. }))
         .count();
-    assert!(crossings >= 4, "expected several boundary crossings, got {crossings}");
+    assert!(
+        crossings >= 4,
+        "expected several boundary crossings, got {crossings}"
+    );
 }
 
 #[test]
 fn fig11_runs_under_guard() {
     let out = run_fexpr(
         &fig11_jit(),
-        RunCfg { fuel: 1_000_000, guard: true },
+        RunCfg {
+            fuel: 1_000_000,
+            guard: true,
+        },
         &mut NullTracer,
     )
     .unwrap();
@@ -366,11 +377,7 @@ fn f_function_crosses_into_t_and_back() {
                     sst(0, r1()),
                     mv(ra(), loc_i("k", vec![i_stk(zvar("z"))])),
                 ],
-                call(
-                    reg(r2()),
-                    zvar("z"),
-                    q_end(int(), zvar("z")),
-                ),
+                call(reg(r2()), zvar("z"), q_end(int(), zvar("z"))),
             ),
             vec![(
                 "k",

@@ -8,7 +8,10 @@ use funtal_syntax::build::*;
 use funtal_syntax::{FExpr, StackTy};
 
 fn check_at(e: &FExpr, sigma: StackTy) -> Result<(funtal_syntax::FTy, StackTy), String> {
-    let ctx = FtCtx { sigma, ..FtCtx::top() };
+    let ctx = FtCtx {
+        sigma,
+        ..FtCtx::top()
+    };
     type_of_fexpr(&ctx, e).map_err(|err| err.to_string())
 }
 
@@ -43,11 +46,7 @@ fn binop_threads_stack_left_to_right() {
 fn if0_branches_must_agree_on_stack() {
     use funtal::mutref::new_cell;
     // then-branch pushes a cell, else-branch doesn't: rejected.
-    let bad = if0(
-        fint_e(0),
-        app(new_cell(), vec![fint_e(1)]),
-        funit_e(),
-    );
+    let bad = if0(fint_e(0), app(new_cell(), vec![fint_e(1)]), funit_e());
     assert!(check_at(&bad, nil()).is_err());
     // Both push: accepted, output stack has the cell.
     let good = if0(
@@ -70,7 +69,10 @@ fn tuple_threads_stack() {
         app(free_cell(), vec![funit_e()]),
     ]);
     let (ty, out) = check_at(&e, nil()).unwrap();
-    assert!(alpha_eq_fty(&ty, &ftuple_ty(vec![funit(), fint(), funit()])));
+    assert!(alpha_eq_fty(
+        &ty,
+        &ftuple_ty(vec![funit(), fint(), funit()])
+    ));
     assert!(alpha_eq_stack(&out, &nil()));
 }
 
@@ -80,10 +82,7 @@ fn tuple_threads_stack() {
 fn boundary_checks_under_empty_chi() {
     // A component reading a register it never set is rejected even
     // though the ambient F context "has" registers (Fig 7 resets χ).
-    let bad = boundary(
-        fint(),
-        tcomp(seq(vec![], halt(int(), nil(), r1())), vec![]),
-    );
+    let bad = boundary(fint(), tcomp(seq(vec![], halt(int(), nil(), r1())), vec![]));
     assert!(check_at(&bad, nil()).is_err());
 }
 
@@ -92,7 +91,12 @@ fn boundary_sigma_out_annotation_respected() {
     // Component pushes an int: requires the explicit annotation.
     let comp = tcomp(
         seq(
-            vec![mv(r1(), int_v(3)), salloc(1), sst(0, r1()), mv(r1(), unit_v())],
+            vec![
+                mv(r1(), int_v(3)),
+                salloc(1),
+                sst(0, r1()),
+                mv(r1(), unit_v()),
+            ],
             halt(unit(), stack(vec![int()], nil()), r1()),
         ),
         vec![],
@@ -299,7 +303,10 @@ fn plain_lambda_body_cannot_touch_ambient_stack() {
         boundary(
             fint(),
             tcomp(
-                seq(vec![sld(r1(), 0)], halt(int(), stack(vec![int()], zvar("zl")), r1())),
+                seq(
+                    vec![sld(r1(), 0)],
+                    halt(int(), stack(vec![int()], zvar("zl")), r1()),
+                ),
                 vec![],
             ),
         ),
@@ -345,10 +352,7 @@ fn pure_boundaries_commute_observationally() {
     // weak, executable consequence: a boundary's value is stable across
     // duplication.
     let e = funtal::figures::fig16_f1();
-    let dup = fadd(
-        app(e.clone(), vec![fint_e(10)]),
-        app(e, vec![fint_e(10)]),
-    );
+    let dup = fadd(app(e.clone(), vec![fint_e(10)]), app(e, vec![fint_e(10)]));
     assert_eq!(
         funtal::machine::eval_to_value(&dup, 100_000).unwrap(),
         fint_e(24)

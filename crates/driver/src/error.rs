@@ -1,0 +1,133 @@
+//! The unified diagnostics type for the whole pipeline.
+//!
+//! Every layer of the workspace has its own error enum (lexer, parser,
+//! the pure-F checker, the shared T/FT checker, the machines, the MiniF
+//! front end). [`FunTalError`] folds them into one type with `From`
+//! impls, so drivers, examples, and tests can use `?` end-to-end instead
+//! of `Box<dyn Error>` plumbing.
+
+use std::fmt;
+
+use funtal_compile::lang::MiniFError;
+use funtal_fun::check::FTypeError;
+use funtal_parser::lex::LexError;
+use funtal_parser::parse::ParseError;
+use funtal_tal::error::{RuntimeError, TypeError};
+
+/// Any error a [`crate::Pipeline`] stage can produce.
+#[derive(Clone, Debug)]
+pub enum FunTalError {
+    /// The lexer rejected the source text.
+    Lex(LexError),
+    /// The parser rejected the token stream.
+    Parse(ParseError),
+    /// The pure-F reference checker rejected the term.
+    FType(FTypeError),
+    /// The T/FT type system rejected the term or component.
+    Type(TypeError),
+    /// The machine faulted (never on well-typed programs).
+    Runtime(RuntimeError),
+    /// The MiniF front end rejected the program.
+    MiniF(MiniFError),
+    /// Evaluation did not finish within the fuel bound.
+    OutOfFuel {
+        /// The bound that was exhausted.
+        fuel: u64,
+    },
+    /// A driver-level condition (bad CLI usage, operand type
+    /// disagreement in `equiv`, missing definition, ...).
+    Driver(String),
+    /// An I/O error, tagged with the path involved.
+    Io {
+        /// The file being read or written.
+        path: String,
+        /// The underlying error rendered.
+        cause: String,
+    },
+}
+
+impl FunTalError {
+    /// Source position (1-based line, column) when the underlying error
+    /// carries one (lex and parse errors do).
+    pub fn span(&self) -> Option<(u32, u32)> {
+        match self {
+            FunTalError::Lex(e) => Some((e.line, e.col)),
+            FunTalError::Parse(e) => Some((e.line, e.col)),
+            _ => None,
+        }
+    }
+
+    /// Short machine-readable category, used by the CLI exit report.
+    pub fn stage(&self) -> &'static str {
+        match self {
+            FunTalError::Lex(_) => "lex",
+            FunTalError::Parse(_) => "parse",
+            FunTalError::FType(_) | FunTalError::Type(_) => "typecheck",
+            FunTalError::Runtime(_) | FunTalError::OutOfFuel { .. } => "run",
+            FunTalError::MiniF(_) => "minif",
+            FunTalError::Driver(_) => "driver",
+            FunTalError::Io { .. } => "io",
+        }
+    }
+
+    /// Convenience constructor for [`FunTalError::Driver`].
+    pub fn driver(msg: impl Into<String>) -> FunTalError {
+        FunTalError::Driver(msg.into())
+    }
+}
+
+impl fmt::Display for FunTalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FunTalError::Lex(e) => write!(f, "lex error: {e}"),
+            FunTalError::Parse(e) => write!(f, "parse error: {e}"),
+            FunTalError::FType(e) => write!(f, "type error (F): {e}"),
+            FunTalError::Type(e) => write!(f, "type error: {e}"),
+            FunTalError::Runtime(e) => write!(f, "runtime error: {e}"),
+            FunTalError::MiniF(e) => write!(f, "MiniF error: {e}"),
+            FunTalError::OutOfFuel { fuel } => {
+                write!(f, "out of fuel after {fuel} steps (raise with --fuel)")
+            }
+            FunTalError::Driver(msg) => f.write_str(msg),
+            FunTalError::Io { path, cause } => write!(f, "{path}: {cause}"),
+        }
+    }
+}
+
+impl std::error::Error for FunTalError {}
+
+impl From<LexError> for FunTalError {
+    fn from(e: LexError) -> Self {
+        FunTalError::Lex(e)
+    }
+}
+
+impl From<ParseError> for FunTalError {
+    fn from(e: ParseError) -> Self {
+        FunTalError::Parse(e)
+    }
+}
+
+impl From<FTypeError> for FunTalError {
+    fn from(e: FTypeError) -> Self {
+        FunTalError::FType(e)
+    }
+}
+
+impl From<TypeError> for FunTalError {
+    fn from(e: TypeError) -> Self {
+        FunTalError::Type(e)
+    }
+}
+
+impl From<RuntimeError> for FunTalError {
+    fn from(e: RuntimeError) -> Self {
+        FunTalError::Runtime(e)
+    }
+}
+
+impl From<MiniFError> for FunTalError {
+    fn from(e: MiniFError) -> Self {
+        FunTalError::MiniF(e)
+    }
+}

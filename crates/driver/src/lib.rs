@@ -1,0 +1,306 @@
+//! The unified FunTAL driver: one [`Pipeline`] that composes every
+//! layer of the workspace —
+//!
+//! ```text
+//! lex → parse → FT typecheck → (optional MiniF compile) → evaluate → report
+//! ```
+//!
+//! — over a single diagnostics type, [`FunTalError`], and the `funtal`
+//! CLI binary built on top of it (`check`, `run`, `compile`, `equiv`,
+//! `trace` subcommands over concrete-syntax files).
+//!
+//! The stages are also exposed individually ([`Pipeline::parse`],
+//! [`Pipeline::check`], [`Pipeline::run`], [`Pipeline::trace`],
+//! [`Pipeline::compile_minif`], [`Pipeline::equiv`]) so examples and
+//! tests can enter and leave the pipeline at any point.
+//!
+//! # Example
+//!
+//! ```
+//! use funtal_driver::Pipeline;
+//!
+//! let report = Pipeline::new()
+//!     .with_fuel(10_000)
+//!     .run_source("FT[int](mv r1, 6; mul r1, r1, 7; halt int, * {r1})")?;
+//! assert_eq!(report.ty.to_string(), "int");
+//! assert_eq!(report.value()?.to_string(), "42");
+//! # Ok::<(), funtal_driver::FunTalError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod minif;
+pub mod report;
+
+use funtal::machine::{run, run_fexpr, FtOutcome, RunCfg};
+use funtal_compile::codegen::{compile_program, CodegenOpts, Compiled};
+use funtal_compile::lang::Program;
+use funtal_equiv::{equivalent, EquivCfg, Verdict};
+use funtal_parser::lex::Tok;
+use funtal_syntax::alpha::alpha_eq_fty;
+use funtal_syntax::build::{app, fint_e};
+use funtal_syntax::{Component, FExpr, FTy};
+use funtal_tal::trace::{CountTracer, Tracer, VecTracer};
+
+pub use error::FunTalError;
+pub use report::{Checked, CompiledMiniF, RunReport, TraceReport};
+
+/// A configured lex → parse → typecheck → compile → evaluate pipeline.
+///
+/// `Pipeline` is cheap to construct and `Copy`-free but `Clone`; every
+/// stage borrows it immutably, so one pipeline can drive many programs.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    /// Maximum machine steps per evaluation.
+    fuel: u64,
+    /// Run the dynamic type-safety guard at every T jump.
+    guard: bool,
+    /// Code-generation options for the MiniF stage.
+    codegen: CodegenOpts,
+    /// Configuration for the bounded equivalence stage.
+    equiv: EquivCfg,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline {
+            fuel: 1_000_000,
+            guard: false,
+            codegen: CodegenOpts::default(),
+            equiv: EquivCfg::default(),
+        }
+    }
+}
+
+impl Pipeline {
+    /// A pipeline with default fuel (1M steps), no guard, no TCO.
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Sets the evaluation fuel bound. The bounded-equivalence stage
+    /// keeps its own per-experiment fuel (see
+    /// [`with_equiv_cfg`](Pipeline::with_equiv_cfg)).
+    pub fn with_fuel(mut self, fuel: u64) -> Pipeline {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Enables the dynamic type-safety guard during evaluation.
+    pub fn with_guard(mut self, guard: bool) -> Pipeline {
+        self.guard = guard;
+        self
+    }
+
+    /// Sets MiniF code-generation options (e.g. tail-call
+    /// loopification).
+    pub fn with_codegen(mut self, opts: CodegenOpts) -> Pipeline {
+        self.codegen = opts;
+        self
+    }
+
+    /// Sets the bounded-equivalence configuration.
+    pub fn with_equiv_cfg(mut self, cfg: EquivCfg) -> Pipeline {
+        self.equiv = cfg;
+        self
+    }
+
+    /// The configured fuel bound.
+    pub fn fuel(&self) -> u64 {
+        self.fuel
+    }
+
+    /// The configured codegen options.
+    pub fn codegen_opts(&self) -> CodegenOpts {
+        self.codegen
+    }
+
+    fn run_cfg(&self) -> RunCfg {
+        RunCfg {
+            fuel: self.fuel,
+            guard: self.guard,
+        }
+    }
+
+    // --- stage 1: lex -----------------------------------------------------
+
+    /// Tokenizes FT concrete syntax (exposed for tooling; [`parse`]
+    /// lexes internally).
+    ///
+    /// [`parse`]: Pipeline::parse
+    pub fn lex(&self, src: &str) -> Result<Vec<Tok>, FunTalError> {
+        Ok(funtal_parser::lex(src)?)
+    }
+
+    // --- stage 2: parse ---------------------------------------------------
+
+    /// Parses an FT expression from concrete syntax.
+    pub fn parse(&self, src: &str) -> Result<FExpr, FunTalError> {
+        Ok(funtal_parser::parse_fexpr(src)?)
+    }
+
+    // --- stage 3: typecheck -----------------------------------------------
+
+    /// Type-checks a closed FT expression (Fig 7) and returns its type.
+    pub fn check(&self, e: &FExpr) -> Result<FTy, FunTalError> {
+        Ok(funtal::typecheck(e)?)
+    }
+
+    /// Parse + typecheck in one step.
+    pub fn check_source(&self, src: &str) -> Result<Checked, FunTalError> {
+        let expr = self.parse(src)?;
+        let ty = self.check(&expr)?;
+        Ok(Checked { expr, ty })
+    }
+
+    /// Type-checks either kind of component — an F expression or a
+    /// whole T program — against an optional expected F type.
+    pub fn check_component(
+        &self,
+        comp: &Component,
+        expected: Option<&FTy>,
+    ) -> Result<FTy, FunTalError> {
+        Ok(funtal::typecheck_component(comp, expected)?)
+    }
+
+    // --- stage 4 (optional): MiniF compile --------------------------------
+
+    /// Compiles a validated MiniF program to T code with the pipeline's
+    /// [`CodegenOpts`], returning the heap fragment plus
+    /// boundary-wrapped (and type-checked) entry points.
+    pub fn compile_minif(&self, program: &Program) -> Result<CompiledMiniF, FunTalError> {
+        program.validate()?;
+        let compiled: Compiled = compile_program(program, self.codegen);
+        let mut wrapped = Vec::new();
+        for name in program.defs.keys() {
+            let f = compiled.wrap(name);
+            let ty = self.check(&f)?;
+            wrapped.push((name.clone(), f, ty));
+        }
+        Ok(CompiledMiniF {
+            program: program.clone(),
+            compiled,
+            wrapped,
+        })
+    }
+
+    /// Parses MiniF concrete syntax (see [`minif`]) and compiles it.
+    pub fn compile_minif_source(&self, src: &str) -> Result<CompiledMiniF, FunTalError> {
+        self.compile_minif(&minif::parse_minif(src)?)
+    }
+
+    // --- stage 5: evaluate ------------------------------------------------
+
+    /// Type-checks and evaluates an FT expression with step counting.
+    pub fn run(&self, e: &FExpr) -> Result<RunReport, FunTalError> {
+        let ty = self.check(e)?;
+        let mut counts = CountTracer::new();
+        let outcome = run_fexpr(e, self.run_cfg(), &mut counts)?;
+        Ok(RunReport {
+            ty,
+            outcome,
+            counts,
+            fuel: self.fuel,
+        })
+    }
+
+    /// Parse + typecheck + evaluate in one step.
+    pub fn run_source(&self, src: &str) -> Result<RunReport, FunTalError> {
+        let e = self.parse(src)?;
+        self.run(&e)
+    }
+
+    /// Like [`run`](Pipeline::run), with a caller-supplied tracer
+    /// observing every machine event.
+    pub fn run_with_tracer(
+        &self,
+        e: &FExpr,
+        tracer: &mut dyn Tracer,
+    ) -> Result<(FTy, FtOutcome), FunTalError> {
+        let ty = self.check(e)?;
+        let outcome = run_fexpr(e, self.run_cfg(), tracer)?;
+        Ok((ty, outcome))
+    }
+
+    // --- stage 6: trace / equiv reporting ---------------------------------
+
+    /// Type-checks and evaluates an FT expression, recording the full
+    /// control-flow event stream (the Fig 4 / Fig 12 shape).
+    pub fn trace(&self, e: &FExpr) -> Result<TraceReport, FunTalError> {
+        let ty = self.check(e)?;
+        let mut tracer = VecTracer::new();
+        let outcome = run_fexpr(e, self.run_cfg(), &mut tracer)?;
+        Ok(TraceReport {
+            ty,
+            outcome,
+            events: tracer.events,
+            fuel: self.fuel,
+        })
+    }
+
+    /// Parse + typecheck + traced evaluation in one step.
+    pub fn trace_source(&self, src: &str) -> Result<TraceReport, FunTalError> {
+        let e = self.parse(src)?;
+        self.trace(&e)
+    }
+
+    /// Type-checks and evaluates an F or T component in a fresh
+    /// memory, recording the control-flow event stream.
+    pub fn trace_component(
+        &self,
+        comp: &Component,
+        expected: Option<&FTy>,
+    ) -> Result<TraceReport, FunTalError> {
+        let ty = self.check_component(comp, expected)?;
+        let mut tracer = VecTracer::new();
+        let mut mem = funtal_tal::machine::Memory::new();
+        let outcome = run(&mut mem, comp, self.run_cfg(), &mut tracer)?;
+        Ok(TraceReport {
+            ty,
+            outcome,
+            events: tracer.events,
+            fuel: self.fuel,
+        })
+    }
+
+    /// Checks both expressions at a common type, then compares them
+    /// with the bounded logical relation of `funtal-equiv`.
+    ///
+    /// The operands must have alpha-equal types; the common type is the
+    /// one the experiments are generated at.
+    pub fn equiv(&self, lhs: &FExpr, rhs: &FExpr) -> Result<(FTy, Verdict), FunTalError> {
+        let lt = self.check(lhs)?;
+        let rt = self.check(rhs)?;
+        if !alpha_eq_fty(&lt, &rt) {
+            return Err(FunTalError::driver(format!(
+                "equiv operands have different types: {lt} vs {rt}"
+            )));
+        }
+        Ok((lt.clone(), equivalent(lhs, rhs, &lt, &self.equiv)))
+    }
+
+    /// Parse + typecheck + bounded equivalence over two sources.
+    pub fn equiv_source(&self, lhs: &str, rhs: &str) -> Result<(FTy, Verdict), FunTalError> {
+        let l = self.parse(lhs)?;
+        let r = self.parse(rhs)?;
+        self.equiv(&l, &r)
+    }
+
+    // --- conveniences over compiled MiniF ---------------------------------
+
+    /// Applies a compiled MiniF definition to integer arguments and
+    /// runs it (the compiled analogue of [`Program::eval`]).
+    pub fn run_compiled(
+        &self,
+        compiled: &CompiledMiniF,
+        name: &str,
+        args: &[i64],
+    ) -> Result<RunReport, FunTalError> {
+        let f = compiled
+            .wrapped_fexpr(name)
+            .ok_or_else(|| FunTalError::driver(format!("no definition named `{name}`")))?;
+        let call = app(f.clone(), args.iter().map(|n| fint_e(*n)).collect());
+        self.run(&call)
+    }
+}

@@ -1,0 +1,288 @@
+//! The `funtal` command-line interface: drive the whole pipeline over
+//! concrete-syntax files.
+//!
+//! ```text
+//! funtal check   FILE.ft...            parse + typecheck, print each type
+//! funtal run     FILE.ft [--trace]     evaluate to a value (--steps, --guard, --fuel N)
+//! funtal trace   FILE.ft               evaluate, print the control-flow diagram
+//! funtal compile FILE.mf [--tco]       compile MiniF to T (--call NAME ARGS.. to run)
+//! funtal equiv   A.ft B.ft             bounded logical-relation comparison
+//! ```
+
+use std::process::ExitCode;
+
+use funtal_compile::codegen::CodegenOpts;
+use funtal_driver::{FunTalError, Pipeline};
+use funtal_equiv::EquivCfg;
+
+const USAGE: &str = "funtal — the FunTAL multi-language driver
+
+USAGE:
+    funtal <COMMAND> [OPTIONS] <FILE>...
+
+COMMANDS:
+    check    FILE.ft...     parse and typecheck; print each program's type
+    run      FILE.ft        typecheck and evaluate; print the resulting value
+    trace    FILE.ft        like `run`, but print the control-flow diagram
+                            (Fig 4 / Fig 12 of the paper)
+    compile  FILE.mf        compile a MiniF program to T assembly and print
+                            the boundary-wrapped result
+    equiv    A.ft B.ft      compare two programs with the bounded logical
+                            relation (Section 5)
+
+OPTIONS:
+    --fuel N        evaluation step bound          [default: 1000000]
+    --guard         enable the dynamic type-safety guard at T jumps
+    --steps         print step counts after `run`
+    --trace         with `run`: also print the control-flow diagram
+    --tco           with `compile`: loopify self tail calls
+    --call NAME N.. with `compile`: apply definition NAME to integer
+                    arguments and print the value
+    --samples N     with `equiv`: experiments per type   [default: 12]
+    --seed N        with `equiv`: RNG seed
+    --depth N       with `equiv`: input-generation depth
+    -h, --help      print this help
+";
+
+struct Opts {
+    files: Vec<String>,
+    /// `Some` only when `--fuel` was given explicitly; `run` and
+    /// `equiv` have different defaults.
+    fuel: Option<u64>,
+    guard: bool,
+    steps: bool,
+    trace: bool,
+    tco: bool,
+    call: Option<(String, Vec<i64>)>,
+    samples: usize,
+    seed: u64,
+    depth: u32,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, FunTalError> {
+    let defaults = EquivCfg::default();
+    let mut o = Opts {
+        files: Vec::new(),
+        fuel: None,
+        guard: false,
+        steps: false,
+        trace: false,
+        tco: false,
+        call: None,
+        samples: defaults.samples,
+        seed: defaults.seed,
+        depth: defaults.depth,
+    };
+    let mut i = 0;
+    let take = |args: &[String], i: &mut usize, flag: &str| -> Result<String, FunTalError> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| FunTalError::driver(format!("{flag} needs a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fuel" => o.fuel = Some(parse_num(&take(args, &mut i, "--fuel")?, "--fuel")?),
+            "--guard" => o.guard = true,
+            "--steps" => o.steps = true,
+            "--trace" => o.trace = true,
+            "--tco" => o.tco = true,
+            "--samples" => {
+                o.samples = parse_num::<usize>(&take(args, &mut i, "--samples")?, "--samples")?
+            }
+            "--seed" => o.seed = parse_num(&take(args, &mut i, "--seed")?, "--seed")?,
+            "--depth" => o.depth = parse_num(&take(args, &mut i, "--depth")?, "--depth")?,
+            "--call" => {
+                let name = take(args, &mut i, "--call")?;
+                let mut call_args = Vec::new();
+                while let Some(n) = args.get(i + 1).and_then(|a| a.parse::<i64>().ok()) {
+                    call_args.push(n);
+                    i += 1;
+                }
+                o.call = Some((name, call_args));
+            }
+            flag if flag.starts_with("--") => {
+                return Err(FunTalError::driver(format!("unknown option `{flag}`")))
+            }
+            file => o.files.push(file.to_string()),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, FunTalError> {
+    s.parse()
+        .map_err(|_| FunTalError::driver(format!("{flag}: `{s}` is not a valid number")))
+}
+
+fn read_file(path: &str) -> Result<String, FunTalError> {
+    std::fs::read_to_string(path).map_err(|e| FunTalError::Io {
+        path: path.to_string(),
+        cause: e.to_string(),
+    })
+}
+
+fn one_file<'a>(o: &'a Opts, cmd: &str) -> Result<&'a str, FunTalError> {
+    match o.files.as_slice() {
+        [f] => Ok(f),
+        _ => Err(FunTalError::driver(format!(
+            "`funtal {cmd}` takes exactly one file (got {})",
+            o.files.len()
+        ))),
+    }
+}
+
+impl Opts {
+    /// The run-stage fuel bound.
+    fn run_fuel(&self) -> u64 {
+        self.fuel.unwrap_or(1_000_000)
+    }
+}
+
+fn pipeline(o: &Opts) -> Pipeline {
+    Pipeline::new()
+        .with_fuel(o.run_fuel())
+        .with_guard(o.guard)
+        .with_codegen(CodegenOpts {
+            tail_call_opt: o.tco,
+        })
+        .with_equiv_cfg(EquivCfg {
+            // An explicit --fuel overrides the per-experiment bound in
+            // both directions; otherwise keep the equiv default.
+            fuel: o.fuel.unwrap_or(EquivCfg::default().fuel),
+            samples: o.samples,
+            depth: o.depth,
+            seed: o.seed,
+        })
+}
+
+fn cmd_check(o: &Opts) -> Result<(), FunTalError> {
+    if o.files.is_empty() {
+        return Err(FunTalError::driver(
+            "`funtal check` needs at least one file",
+        ));
+    }
+    let p = pipeline(o);
+    for file in &o.files {
+        let checked = p.check_source(&read_file(file)?)?;
+        println!("{file}: {}", checked.ty);
+    }
+    Ok(())
+}
+
+fn cmd_run(o: &Opts) -> Result<(), FunTalError> {
+    let file = one_file(o, "run")?;
+    let p = pipeline(o);
+    let src = read_file(file)?;
+    let report = if o.trace {
+        let traced = p.trace_source(&src)?;
+        println!("type:   {}", traced.ty);
+        print!("{}", traced.render());
+        funtal_driver::RunReport {
+            ty: traced.ty.clone(),
+            outcome: traced.outcome.clone(),
+            counts: traced.counts(),
+            fuel: o.run_fuel(),
+        }
+    } else {
+        let report = p.run_source(&src)?;
+        println!("type:   {}", report.ty);
+        report
+    };
+    // Exhausting the fuel bound is a failed run for scripting purposes.
+    if matches!(report.outcome, funtal::machine::FtOutcome::OutOfFuel) {
+        return Err(FunTalError::OutOfFuel { fuel: o.run_fuel() });
+    }
+    println!("{}", report.outcome_line());
+    if o.steps {
+        println!("{}", report.counts_line());
+    }
+    Ok(())
+}
+
+fn cmd_trace(o: &Opts) -> Result<(), FunTalError> {
+    let file = one_file(o, "trace")?;
+    let report = pipeline(o).trace_source(&read_file(file)?)?;
+    println!("type:   {}", report.ty);
+    print!("{}", report.render());
+    println!("{}", report.counts_line());
+    Ok(())
+}
+
+fn cmd_compile(o: &Opts) -> Result<(), FunTalError> {
+    let file = one_file(o, "compile")?;
+    let p = pipeline(o);
+    let bundle = p.compile_minif_source(&read_file(file)?)?;
+    println!(
+        "// {} definition(s), {} T block(s), tail_call_opt: {}",
+        bundle.program.defs.len(),
+        bundle.block_count(),
+        o.tco,
+    );
+    print!("{bundle}");
+    if let Some((name, args)) = &o.call {
+        let report = p.run_compiled(&bundle, name, args)?;
+        let rendered = args
+            .iter()
+            .map(i64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("// {name}({rendered}) = {}", report.value()?);
+    }
+    Ok(())
+}
+
+fn cmd_equiv(o: &Opts) -> Result<(), FunTalError> {
+    let (a, b) = match o.files.as_slice() {
+        [a, b] => (a, b),
+        _ => {
+            return Err(FunTalError::driver(
+                "`funtal equiv` takes exactly two files",
+            ))
+        }
+    };
+    let (ty, verdict) = pipeline(o).equiv_source(&read_file(a)?, &read_file(b)?)?;
+    println!("type:    {ty}");
+    println!("verdict: {verdict}");
+    if !verdict.is_equiv() {
+        return Err(FunTalError::driver("programs are observably different"));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    // `funtal help`, `funtal --help`, or `-h`/`--help` anywhere.
+    if matches!(cmd.as_str(), "-h" | "--help" | "help")
+        || args.iter().any(|a| a == "-h" || a == "--help")
+    {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let rest = &args[1..];
+    let result = parse_args(rest).and_then(|o| match cmd.as_str() {
+        "check" => cmd_check(&o),
+        "run" => cmd_run(&o),
+        "trace" => cmd_trace(&o),
+        "compile" => cmd_compile(&o),
+        "equiv" => cmd_equiv(&o),
+        other => Err(FunTalError::driver(format!(
+            "unknown command `{other}` (try `funtal --help`)"
+        ))),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            match e.span() {
+                Some((line, col)) => eprintln!("error[{}] at {line}:{col}: {e}", e.stage()),
+                None => eprintln!("error[{}]: {e}", e.stage()),
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

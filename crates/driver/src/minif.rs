@@ -1,0 +1,228 @@
+//! Concrete syntax for MiniF, the first-order source language of the
+//! §6 compiler (`funtal-compile`), so `.mf` files can be fed to the
+//! `compile` stage of the pipeline.
+//!
+//! The grammar reuses the FunTAL lexer (`funtal-parser`) and mirrors
+//! the FT expression syntax where the languages overlap:
+//!
+//! ```text
+//! program := def+
+//! def     := "fn" name "(" [name ("," name)*] ")" "=" expr
+//! expr    := "if0" expr "{" expr "}" "{" expr "}" | arith
+//! arith   := term (("+" | "-") term)*
+//! term    := atom ("*" atom)*
+//! atom    := int | "-" int | name "(" [expr ("," expr)*] ")" | name
+//!          | "(" expr ")"
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! let p = funtal_driver::minif::parse_minif(
+//!     "fn fact(n) = if0 n { 1 } { fact(n - 1) * n }",
+//! )?;
+//! assert_eq!(p.eval("fact", &[5], 100)?, 120);
+//! # Ok::<(), funtal_driver::FunTalError>(())
+//! ```
+
+use funtal_compile::lang::{Def, MExpr, Program};
+use funtal_parser::lex::{lex, Tok, TokKind};
+use funtal_parser::parse::ParseError;
+use funtal_syntax::ArithOp;
+
+use crate::error::FunTalError;
+
+/// Names that cannot be used as MiniF identifiers.
+const KEYWORDS: &[&str] = &["fn", "if0"];
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &TokKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let t = &self.toks[self.pos];
+        (t.line, t.col)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError {
+            msg: msg.into(),
+            line,
+            col,
+        }
+    }
+
+    fn bump(&mut self) -> TokKind {
+        let k = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn expect(&mut self, want: TokKind) -> Result<(), ParseError> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {want}, found {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokKind::Ident(name) if !KEYWORDS.contains(&name.as_str()) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected {what}, found {other}"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokKind::Ident(s) if s == kw)
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.at_keyword(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found {}", self.peek())))
+        }
+    }
+
+    fn def(&mut self) -> Result<Def, ParseError> {
+        self.keyword("fn")?;
+        let name = self.ident("a function name")?;
+        self.expect(TokKind::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != TokKind::RParen {
+            loop {
+                params.push(self.ident("a parameter name")?);
+                if *self.peek() == TokKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(TokKind::RParen)?;
+        self.expect(TokKind::Eq)?;
+        let body = self.expr()?;
+        let param_refs: Vec<&str> = params.iter().map(|s| s.as_str()).collect();
+        Ok(Def::new(&name, &param_refs, body))
+    }
+
+    fn expr(&mut self) -> Result<MExpr, ParseError> {
+        if self.at_keyword("if0") {
+            self.bump();
+            let cond = self.expr()?;
+            self.expect(TokKind::LBrace)?;
+            let then_branch = self.expr()?;
+            self.expect(TokKind::RBrace)?;
+            self.expect(TokKind::LBrace)?;
+            let else_branch = self.expr()?;
+            self.expect(TokKind::RBrace)?;
+            return Ok(MExpr::if0(cond, then_branch, else_branch));
+        }
+        self.arith()
+    }
+
+    fn arith(&mut self) -> Result<MExpr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                TokKind::Plus => ArithOp::Add,
+                TokKind::Minus => ArithOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = MExpr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn term(&mut self) -> Result<MExpr, ParseError> {
+        let mut lhs = self.atom()?;
+        while *self.peek() == TokKind::Star {
+            self.bump();
+            let rhs = self.atom()?;
+            lhs = MExpr::bin(ArithOp::Mul, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn atom(&mut self) -> Result<MExpr, ParseError> {
+        match self.peek().clone() {
+            TokKind::Int(n) => {
+                self.bump();
+                Ok(MExpr::Int(n))
+            }
+            TokKind::Minus => {
+                self.bump();
+                match self.peek().clone() {
+                    TokKind::Int(n) => {
+                        self.bump();
+                        Ok(MExpr::Int(-n))
+                    }
+                    other => Err(self.err(format!("expected an integer after `-`, found {other}"))),
+                }
+            }
+            TokKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokKind::RParen)?;
+                Ok(e)
+            }
+            TokKind::Ident(_) => {
+                let name = self.ident("a variable or function name")?;
+                if *self.peek() == TokKind::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != TokKind::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == TokKind::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokKind::RParen)?;
+                    Ok(MExpr::Call { callee: name, args })
+                } else {
+                    Ok(MExpr::v(&name))
+                }
+            }
+            other => Err(self.err(format!("expected a MiniF expression, found {other}"))),
+        }
+    }
+}
+
+/// Parses and validates a MiniF program (one or more `fn` definitions).
+pub fn parse_minif(src: &str) -> Result<Program, FunTalError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0 };
+    let mut defs = Vec::new();
+    while p.at_keyword("fn") {
+        defs.push(p.def()?);
+    }
+    if *p.peek() != TokKind::Eof {
+        return Err(p.err("expected `fn` or end of input").into());
+    }
+    if defs.is_empty() {
+        return Err(p
+            .err("a MiniF program needs at least one `fn` definition")
+            .into());
+    }
+    Ok(Program::new(defs)?)
+}

@@ -1,0 +1,128 @@
+//! End-to-end pipeline coverage over the paper's figures: Fig 3 (pure
+//! T), Fig 11 (the JIT example), and both Fig 17 factorials, each fed
+//! through [`Pipeline`] with typed results and halting values asserted.
+
+use funtal::machine::FtOutcome;
+use funtal_driver::{FunTalError, Pipeline};
+use funtal_syntax::build::*;
+use funtal_syntax::{Component, WordVal};
+use funtal_tal::trace::Event;
+
+#[test]
+fn fig3_through_pipeline() {
+    let prog = funtal_tal::figures::fig3_call_to_call();
+    let report = Pipeline::new()
+        .with_fuel(1_000)
+        .trace_component(&Component::T(prog), Some(&fint()))
+        .unwrap();
+    assert_eq!(report.ty, fint());
+    assert_eq!(report.outcome, FtOutcome::Halted(WordVal::Int(2)));
+    // The Figure 4 control-flow shape: two calls, one jmp, two rets,
+    // then the halt.
+    let calls = report
+        .events
+        .iter()
+        .filter(|e| matches!(e, Event::Call { .. }))
+        .count();
+    let jmps = report
+        .events
+        .iter()
+        .filter(|e| matches!(e, Event::Jmp { .. }))
+        .count();
+    let rets = report
+        .events
+        .iter()
+        .filter(|e| matches!(e, Event::Ret { .. }))
+        .count();
+    let halts = report
+        .events
+        .iter()
+        .filter(|e| matches!(e, Event::Halt { .. }))
+        .count();
+    assert_eq!((calls, jmps, rets, halts), (2, 1, 2, 1), "Fig 4 shape");
+    assert!(!report.render().is_empty());
+}
+
+#[test]
+fn fig11_through_pipeline() {
+    let e = funtal::figures::fig11_jit();
+    let p = Pipeline::new().with_fuel(1_000_000);
+    let report = p.run(&e).unwrap();
+    assert_eq!(report.ty, fint());
+    assert_eq!(report.value().unwrap(), &fint_e(2));
+    // The example crosses the F/T boundary (compiled code calls back
+    // into interpreted F), so crossings must show up in the counts.
+    assert!(report.counts.crossings > 0, "{:?}", report.counts);
+
+    // And the traced run must show the boundary structure of Fig 12.
+    let trace = p.trace(&e).unwrap();
+    assert!(trace
+        .events
+        .iter()
+        .any(|ev| matches!(ev, Event::BoundaryEnter { .. } | Event::ImportExit { .. })));
+}
+
+#[test]
+fn fig17_factorials_through_pipeline() {
+    let p = Pipeline::new().with_fuel(1_000_000);
+    for (name, f) in [
+        ("factF", funtal::figures::fig17_fact_f()),
+        ("factT", funtal::figures::fig17_fact_t()),
+    ] {
+        let ty = p.check(&f).unwrap();
+        assert_eq!(ty, arrow(vec![fint()], fint()), "{name} type");
+        for (n, expected) in [(0i64, 1i64), (1, 1), (5, 120), (8, 40_320)] {
+            let report = p.run(&app(f.clone(), vec![fint_e(n)])).unwrap();
+            assert_eq!(report.ty, fint(), "{name}({n}) result type");
+            assert_eq!(report.value().unwrap(), &fint_e(expected), "{name}({n})");
+        }
+    }
+}
+
+#[test]
+fn fig17_factorials_equivalent_via_pipeline() {
+    let p = Pipeline::new().with_equiv_cfg(funtal_equiv::EquivCfg {
+        fuel: 4_000,
+        samples: 6,
+        depth: 2,
+        seed: 1,
+    });
+    let (ty, verdict) = p
+        .equiv(
+            &funtal::figures::fig17_fact_f(),
+            &funtal::figures::fig17_fact_t(),
+        )
+        .unwrap();
+    assert_eq!(ty, arrow(vec![fint()], fint()));
+    assert!(verdict.is_equiv(), "{verdict}");
+}
+
+#[test]
+fn ft_example_files_run_through_pipeline() {
+    // The same programs the CLI acceptance check uses, via the library.
+    let p = Pipeline::new().with_fuel(100_000);
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let double = std::fs::read_to_string(format!("{root}/examples/double_twice.ft")).unwrap();
+    let report = p.run_source(&double).unwrap();
+    assert_eq!(report.ty, fint());
+    assert_eq!(report.value().unwrap(), &fint_e(40));
+
+    let fact = std::fs::read_to_string(format!("{root}/examples/fact_t.ft")).unwrap();
+    let report = p.run_source(&fact).unwrap();
+    assert_eq!(report.value().unwrap(), &fint_e(720));
+
+    let mf = std::fs::read_to_string(format!("{root}/examples/fact.mf")).unwrap();
+    let bundle = p.compile_minif_source(&mf).unwrap();
+    assert_eq!(bundle.program.defs.len(), 2);
+    let run = p.run_compiled(&bundle, "sum_to", &[10, 0]).unwrap();
+    assert_eq!(run.value().unwrap(), &fint_e(55));
+}
+
+#[test]
+fn minif_parse_errors_are_positioned() {
+    let err = funtal_driver::minif::parse_minif("fn f(x) = x +").unwrap_err();
+    assert_eq!(err.stage(), "parse");
+    assert!(err.span().is_some());
+    let err = funtal_driver::minif::parse_minif("fn f(x) = g(x)").unwrap_err();
+    assert!(matches!(err, FunTalError::MiniF(_)), "{err}");
+}

@@ -68,7 +68,12 @@ pub fn gen_value(ty: &FTy, rng: &mut SplitMix, depth: u32) -> FExpr {
                 }
             }
         }
-        FTy::Arrow { params, phi_in, phi_out, ret } => {
+        FTy::Arrow {
+            params,
+            phi_in,
+            phi_out,
+            ret,
+        } => {
             if !phi_in.is_empty() || !phi_out.is_empty() {
                 // Stack-modifying functions are not generated; use a
                 // function that ignores the stack discipline is unsound,
@@ -159,7 +164,13 @@ fn gen_fun_body(
             }
             1 if !fun_params.is_empty() => {
                 let (n, t) = fun_params[rng.below(fun_params.len())];
-                if let FTy::Arrow { params: ps, ret: r, phi_in, phi_out } = t {
+                if let FTy::Arrow {
+                    params: ps,
+                    ret: r,
+                    phi_in,
+                    phi_out,
+                } = t
+                {
                     if **r == FTy::Int && phi_in.is_empty() && phi_out.is_empty() {
                         let args: Vec<FExpr> =
                             ps.iter().map(|t| gen_value(t, rng, depth - 1)).collect();
@@ -199,14 +210,19 @@ impl GenCtx {
 /// projections.
 pub fn gen_context(ty: &FTy, rng: &mut SplitMix, depth: u32) -> GenCtx {
     match ty {
-        FTy::Arrow { params, phi_in, phi_out, ret }
-            if phi_in.is_empty() && phi_out.is_empty() =>
-        {
-            let args: Vec<FExpr> =
-                params.iter().map(|t| gen_value(t, rng, depth)).collect();
+        FTy::Arrow {
+            params,
+            phi_in,
+            phi_out,
+            ret,
+        } if phi_in.is_empty() && phi_out.is_empty() => {
+            let args: Vec<FExpr> = params.iter().map(|t| gen_value(t, rng, depth)).collect();
             let describe = format!(
                 "apply to ({})",
-                args.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", ")
+                args.iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             );
             let result_ty = (**ret).clone();
             GenCtx {

@@ -137,37 +137,43 @@ pub struct EquivCfg {
 
 impl Default for EquivCfg {
     fn default() -> Self {
-        EquivCfg { fuel: 8_000, samples: 12, depth: 3, seed: 0xF00D }
+        EquivCfg {
+            fuel: 8_000,
+            samples: 12,
+            depth: 3,
+            seed: 0xF00D,
+        }
     }
 }
 
 /// Compares two observations, relating values with the bounded `V`
-/// relation at `ty`.
+/// relation at `ty`. The counterexample is boxed — it is much larger
+/// than the `Ok` path and flows straight into [`Verdict::Different`].
 pub fn obs_rel(
     a: &Observation,
     b: &Observation,
     ty: &FTy,
     cfg: &EquivCfg,
     rng: &mut gen::SplitMix,
-) -> Result<(), Counterexample> {
+) -> Result<(), Box<Counterexample>> {
     match (a, b) {
         (Observation::Timeout, Observation::Timeout) => Ok(()),
         (Observation::Value(va), Observation::Value(vb)) => {
             if logrel::v_rel(va, vb, ty, cfg, rng, cfg.depth) {
                 Ok(())
             } else {
-                Err(Counterexample {
+                Err(Box::new(Counterexample {
                     experiment: format!("values differ at type {ty}"),
                     lhs: a.clone(),
                     rhs: b.clone(),
-                })
+                }))
             }
         }
-        _ => Err(Counterexample {
+        _ => Err(Box::new(Counterexample {
             experiment: "observation class".to_string(),
             lhs: a.clone(),
             rhs: b.clone(),
-        }),
+        })),
     }
 }
 
@@ -185,7 +191,7 @@ pub fn equivalent(e1: &FExpr, e2: &FExpr, ty: &FTy, cfg: &EquivCfg) -> Verdict {
             experiments += 1;
             let (oa, ob) = (observe(e1, cfg.fuel), observe(e2, cfg.fuel));
             if let Err(c) = obs_rel(&oa, &ob, ty, cfg, &mut rng) {
-                return Verdict::Different(Box::new(c));
+                return Verdict::Different(c);
             }
         }
     }
@@ -199,7 +205,7 @@ pub fn equivalent(e1: &FExpr, e2: &FExpr, ty: &FTy, cfg: &EquivCfg) -> Verdict {
         let (oa, ob) = (observe(&p1, cfg.fuel), observe(&p2, cfg.fuel));
         if let Err(mut c) = obs_rel(&oa, &ob, &ctx.result_ty, cfg, &mut rng) {
             c.experiment = format!("context #{i}: {} ({})", ctx.describe, c.experiment);
-            return Verdict::Different(Box::new(c));
+            return Verdict::Different(c);
         }
     }
     Verdict::NoDifferenceFound { experiments }

@@ -62,7 +62,12 @@ pub fn v_rel(
                 _ => false,
             }
         }
-        FTy::Arrow { params, phi_in, phi_out, ret } => {
+        FTy::Arrow {
+            params,
+            phi_in,
+            phi_out,
+            ret,
+        } => {
             if !phi_in.is_empty() || !phi_out.is_empty() {
                 // Stack-modifying functions cannot be applied on an
                 // empty ambient stack; callers compare them in richer
@@ -73,8 +78,10 @@ pub fn v_rel(
                 return true;
             }
             for _ in 0..cfg.samples.max(1) {
-                let args: Vec<FExpr> =
-                    params.iter().map(|t| gen_value(t, rng, depth - 1)).collect();
+                let args: Vec<FExpr> = params
+                    .iter()
+                    .map(|t| gen_value(t, rng, depth - 1))
+                    .collect();
                 let a1 = FExpr::app(v1.clone(), args.clone());
                 let a2 = FExpr::app(v2.clone(), args);
                 if !e_rel(&a1, &a2, ret, cfg, rng, depth - 1) {
@@ -99,9 +106,7 @@ pub fn e_rel(
     let (o1, o2) = (observe(e1, cfg.fuel), observe(e2, cfg.fuel));
     match (o1, o2) {
         (Observation::Timeout, Observation::Timeout) => true,
-        (Observation::Value(v1), Observation::Value(v2)) => {
-            v_rel(&v1, &v2, ty, cfg, rng, depth)
-        }
+        (Observation::Value(v1), Observation::Value(v2)) => v_rel(&v1, &v2, ty, cfg, rng, depth),
         _ => false,
     }
 }
@@ -112,7 +117,12 @@ mod tests {
     use funtal_syntax::build::*;
 
     fn cfg() -> EquivCfg {
-        EquivCfg { fuel: 10_000, samples: 6, depth: 2, seed: 11 }
+        EquivCfg {
+            fuel: 10_000,
+            samples: 6,
+            depth: 2,
+            seed: 11,
+        }
     }
 
     #[test]
@@ -153,7 +163,14 @@ mod tests {
         let mut rng = SplitMix::new(c.seed);
         let f1 = lam(vec![("x", fint())], fmul(var("x"), fint_e(2)));
         let f2 = lam(vec![("x", fint())], fadd(var("x"), var("x")));
-        assert!(v_rel(&f1, &f2, &arrow(vec![fint()], fint()), &c, &mut rng, 2));
+        assert!(v_rel(
+            &f1,
+            &f2,
+            &arrow(vec![fint()], fint()),
+            &c,
+            &mut rng,
+            2
+        ));
     }
 
     #[test]
@@ -162,7 +179,14 @@ mod tests {
         let mut rng = SplitMix::new(c.seed);
         let f1 = lam(vec![("x", fint())], fmul(var("x"), fint_e(2)));
         let f2 = lam(vec![("x", fint())], fmul(var("x"), fint_e(3)));
-        assert!(!v_rel(&f1, &f2, &arrow(vec![fint()], fint()), &c, &mut rng, 2));
+        assert!(!v_rel(
+            &f1,
+            &f2,
+            &arrow(vec![fint()], fint()),
+            &c,
+            &mut rng,
+            2
+        ));
     }
 
     #[test]

@@ -7,7 +7,12 @@ use funtal_equiv::{equivalent, EquivCfg, Verdict};
 use funtal_syntax::build::*;
 
 fn cfg() -> EquivCfg {
-    EquivCfg { fuel: 20_000, samples: 10, depth: 2, seed: 2024 }
+    EquivCfg {
+        fuel: 20_000,
+        samples: 10,
+        depth: 2,
+        seed: 2024,
+    }
 }
 
 #[test]
@@ -41,7 +46,12 @@ fn fig17_functional_equals_imperative_factorial() {
         &fig17_fact_f(),
         &fig17_fact_t(),
         &arrow(vec![fint()], fint()),
-        &EquivCfg { fuel: 4_000, samples: 8, depth: 2, seed: 99 },
+        &EquivCfg {
+            fuel: 4_000,
+            samples: 8,
+            depth: 2,
+            seed: 99,
+        },
     );
     assert!(v.is_equiv(), "{v}");
 }
@@ -51,17 +61,18 @@ fn fig17_negative_control() {
     // factT against an off-by-one variant (initial accumulator 2).
     let bad = lam(
         vec![("x", fint())],
-        if0(
-            var("x"),
-            fint_e(2),
-            fmul(var("x"), var("x")),
-        ),
+        if0(var("x"), fint_e(2), fmul(var("x"), var("x"))),
     );
     let v = equivalent(
         &fig17_fact_f(),
         &bad,
         &arrow(vec![fint()], fint()),
-        &EquivCfg { fuel: 4_000, samples: 8, depth: 2, seed: 99 },
+        &EquivCfg {
+            fuel: 4_000,
+            samples: 8,
+            depth: 2,
+            seed: 99,
+        },
     );
     assert!(!v.is_equiv());
 }
@@ -117,7 +128,12 @@ fn divergence_relates_to_divergence() {
         &omega,
         &spin,
         &fint(),
-        &EquivCfg { fuel: 2_000, samples: 2, depth: 1, seed: 5 },
+        &EquivCfg {
+            fuel: 2_000,
+            samples: 2,
+            depth: 1,
+            seed: 5,
+        },
     );
     assert!(v.is_equiv(), "{v}");
 }

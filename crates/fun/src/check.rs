@@ -54,7 +54,11 @@ impl fmt::Display for FTypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FTypeError::Unbound(x) => write!(f, "unbound variable {x}"),
-            FTypeError::Mismatch { expected, found, what } => {
+            FTypeError::Mismatch {
+                expected,
+                found,
+                what,
+            } => {
                 write!(f, "{what}: expected {expected}, found {found}")
             }
             FTypeError::WrongForm { expected, found } => {
@@ -95,7 +99,12 @@ fn expect(a: &FTy, b: &FTy, what: &'static str) -> Result<(), FTypeError> {
 pub fn pure_fty(t: &FTy) -> Result<(), FTypeError> {
     match t {
         FTy::Var(_) | FTy::Unit | FTy::Int => Ok(()),
-        FTy::Arrow { params, phi_in, phi_out, ret } => {
+        FTy::Arrow {
+            params,
+            phi_in,
+            phi_out,
+            ret,
+        } => {
             if !phi_in.is_empty() || !phi_out.is_empty() {
                 return Err(FTypeError::MultiLanguage("stack-modifying arrow"));
             }
@@ -110,7 +119,10 @@ pub fn pure_fty(t: &FTy) -> Result<(), FTypeError> {
 /// Infers the type of a pure-F expression (`Γ ⊢ e : τ`).
 pub fn type_of(env: &Env, e: &FExpr) -> Result<FTy, FTypeError> {
     match e {
-        FExpr::Var(x) => env.get(x).cloned().ok_or_else(|| FTypeError::Unbound(x.clone())),
+        FExpr::Var(x) => env
+            .get(x)
+            .cloned()
+            .ok_or_else(|| FTypeError::Unbound(x.clone())),
         FExpr::Unit => Ok(FTy::Unit),
         FExpr::Int(_) => Ok(FTy::Int),
         FExpr::Binop { lhs, rhs, .. } => {
@@ -118,7 +130,11 @@ pub fn type_of(env: &Env, e: &FExpr) -> Result<FTy, FTypeError> {
             expect(&FTy::Int, &type_of(env, rhs)?, "right operand")?;
             Ok(FTy::Int)
         }
-        FExpr::If0 { cond, then_branch, else_branch } => {
+        FExpr::If0 {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             expect(&FTy::Int, &type_of(env, cond)?, "if0 condition")?;
             let t1 = type_of(env, then_branch)?;
             let t2 = type_of(env, else_branch)?;
@@ -135,11 +151,20 @@ pub fn type_of(env: &Env, e: &FExpr) -> Result<FTy, FTypeError> {
                 inner.insert(x.clone(), t.clone());
             }
             let ret = type_of(&inner, &lam.body)?;
-            Ok(FTy::arrow(lam.params.iter().map(|(_, t)| t.clone()).collect(), ret))
+            Ok(FTy::arrow(
+                lam.params.iter().map(|(_, t)| t.clone()).collect(),
+                ret,
+            ))
         }
         FExpr::App { func, args } => {
             let tf = type_of(env, func)?;
-            let FTy::Arrow { params, phi_in, phi_out, ret } = &tf else {
+            let FTy::Arrow {
+                params,
+                phi_in,
+                phi_out,
+                ret,
+            } = &tf
+            else {
                 return Err(FTypeError::WrongForm {
                     expected: "a function",
                     found: tf.to_string(),
@@ -149,7 +174,10 @@ pub fn type_of(env: &Env, e: &FExpr) -> Result<FTy, FTypeError> {
                 return Err(FTypeError::MultiLanguage("stack-modifying application"));
             }
             if params.len() != args.len() {
-                return Err(FTypeError::Arity { expected: params.len(), found: args.len() });
+                return Err(FTypeError::Arity {
+                    expected: params.len(),
+                    found: args.len(),
+                });
             }
             for (p, a) in params.iter().zip(args) {
                 expect(p, &type_of(env, a)?, "argument")?;
@@ -179,8 +207,7 @@ pub fn type_of(env: &Env, e: &FExpr) -> Result<FTy, FTypeError> {
             Ok(subst_fty_var(inner, a, &t))
         }
         FExpr::Tuple(es) => {
-            let ts: Result<Vec<FTy>, FTypeError> =
-                es.iter().map(|e| type_of(env, e)).collect();
+            let ts: Result<Vec<FTy>, FTypeError> = es.iter().map(|e| type_of(env, e)).collect();
             Ok(FTy::Tuple(ts?))
         }
         FExpr::Proj { idx, tuple } => {
@@ -192,7 +219,10 @@ pub fn type_of(env: &Env, e: &FExpr) -> Result<FTy, FTypeError> {
                 });
             };
             if *idx == 0 || *idx > ts.len() {
-                return Err(FTypeError::BadProj { idx: *idx, width: ts.len() });
+                return Err(FTypeError::BadProj {
+                    idx: *idx,
+                    width: ts.len(),
+                });
             }
             Ok(ts[*idx - 1].clone())
         }
@@ -210,8 +240,16 @@ pub fn subst_fty_var(body: &FTy, var: &funtal_syntax::TyVar, replacement: &FTy) 
     match body {
         FTy::Var(v) if v == var => replacement.clone(),
         FTy::Var(_) | FTy::Unit | FTy::Int => body.clone(),
-        FTy::Arrow { params, phi_in, phi_out, ret } => FTy::Arrow {
-            params: params.iter().map(|t| subst_fty_var(t, var, replacement)).collect(),
+        FTy::Arrow {
+            params,
+            phi_in,
+            phi_out,
+            ret,
+        } => FTy::Arrow {
+            params: params
+                .iter()
+                .map(|t| subst_fty_var(t, var, replacement))
+                .collect(),
             phi_in: phi_in.clone(),
             phi_out: phi_out.clone(),
             ret: Box::new(subst_fty_var(ret, var, replacement)),
@@ -231,9 +269,11 @@ pub fn subst_fty_var(body: &FTy, var: &funtal_syntax::TyVar, replacement: &FTy) 
                 FTy::Rec(v.clone(), Box::new(subst_fty_var(inner, var, replacement)))
             }
         }
-        FTy::Tuple(ts) => {
-            FTy::Tuple(ts.iter().map(|t| subst_fty_var(t, var, replacement)).collect())
-        }
+        FTy::Tuple(ts) => FTy::Tuple(
+            ts.iter()
+                .map(|t| subst_fty_var(t, var, replacement))
+                .collect(),
+        ),
     }
 }
 
@@ -250,7 +290,10 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        assert_eq!(type_of(&Env::new(), &fadd(fint_e(1), fint_e(2))), Ok(FTy::Int));
+        assert_eq!(
+            type_of(&Env::new(), &fadd(fint_e(1), fint_e(2))),
+            Ok(FTy::Int)
+        );
         assert!(type_of(&Env::new(), &fadd(funit_e(), fint_e(2))).is_err());
     }
 
@@ -261,7 +304,10 @@ mod tests {
             type_of(&Env::new(), &id),
             Ok(FTy::arrow(vec![FTy::Int], FTy::Int))
         );
-        assert_eq!(type_of(&Env::new(), &app(id.clone(), vec![fint_e(3)])), Ok(FTy::Int));
+        assert_eq!(
+            type_of(&Env::new(), &app(id.clone(), vec![fint_e(3)])),
+            Ok(FTy::Int)
+        );
         assert!(matches!(
             type_of(&Env::new(), &app(id.clone(), vec![])),
             Err(FTypeError::Arity { .. })
@@ -308,7 +354,10 @@ mod tests {
     fn boundaries_rejected() {
         let b = boundary(
             fint(),
-            tcomp(seq(vec![mv(r1(), int_v(1))], halt(int(), nil(), r1())), vec![]),
+            tcomp(
+                seq(vec![mv(r1(), int_v(1))], halt(int(), nil(), r1())),
+                vec![],
+            ),
         );
         assert!(matches!(
             type_of(&Env::new(), &b),

@@ -27,7 +27,10 @@ impl fmt::Display for FEvalError {
             FEvalError::Stuck(s) => write!(f, "stuck: {s}"),
             FEvalError::Unbound(x) => write!(f, "unbound variable {x}"),
             FEvalError::MultiLanguage(w) => {
-                write!(f, "multi-language form `{w}` not supported by the pure F evaluator")
+                write!(
+                    f,
+                    "multi-language form `{w}` not supported by the pure F evaluator"
+                )
             }
         }
     }
@@ -77,7 +80,11 @@ fn step_expr(e: &FExpr) -> Result<FExpr, FEvalError> {
             };
             Ok(FExpr::Int(op.apply(*a, *b)))
         }
-        FExpr::If0 { cond, then_branch, else_branch } => {
+        FExpr::If0 {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             if !cond.is_value() {
                 return Ok(FExpr::If0 {
                     cond: Box::new(step_expr(cond)?),
@@ -104,10 +111,15 @@ fn step_expr(e: &FExpr) -> Result<FExpr, FEvalError> {
             if let Some(i) = args.iter().position(|a| !a.is_value()) {
                 let mut args = args.clone();
                 args[i] = step_expr(&args[i])?;
-                return Ok(FExpr::App { func: func.clone(), args });
+                return Ok(FExpr::App {
+                    func: func.clone(),
+                    args,
+                });
             }
             let FExpr::Lam(lam) = &**func else {
-                return Err(FEvalError::Stuck(format!("applying a non-function: {func}")));
+                return Err(FEvalError::Stuck(format!(
+                    "applying a non-function: {func}"
+                )));
             };
             if !lam.is_plain() {
                 return Err(FEvalError::MultiLanguage("stack-modifying lambda"));
@@ -156,7 +168,9 @@ fn step_expr(e: &FExpr) -> Result<FExpr, FEvalError> {
                 });
             }
             let FExpr::Tuple(vs) = &**tuple else {
-                return Err(FEvalError::Stuck(format!("projection from a non-tuple: {tuple}")));
+                return Err(FEvalError::Stuck(format!(
+                    "projection from a non-tuple: {tuple}"
+                )));
             };
             if *idx == 0 || *idx > vs.len() {
                 return Err(FEvalError::Stuck(format!("pi[{idx}] out of range")));
@@ -234,10 +248,7 @@ mod tests {
 
     #[test]
     fn multi_arg_application() {
-        let subf = lam(
-            vec![("x", fint()), ("y", fint())],
-            fsub(var("x"), var("y")),
-        );
+        let subf = lam(vec![("x", fint()), ("y", fint())], fsub(var("x"), var("y")));
         assert_eq!(run(&app(subf, vec![fint_e(10), fint_e(3)])), fint_e(7));
     }
 
@@ -270,10 +281,7 @@ mod tests {
                 var("x"),
                 fint_e(1),
                 fmul(
-                    app(
-                        funfold(var("f")),
-                        vec![var("f"), fsub(var("x"), fint_e(1))],
-                    ),
+                    app(funfold(var("f")), vec![var("f"), fsub(var("x"), fint_e(1))]),
                     var("x"),
                 ),
             ),

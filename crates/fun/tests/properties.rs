@@ -16,14 +16,11 @@ fn arb_int_expr(depth: u32) -> BoxedStrategy<FExpr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| fadd(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| fsub(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| fmul(a, b)),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, e)| if0(c, t, e)),
-            inner.clone().prop_map(|a| app(
-                lam(vec![("x", fint())], fadd(var("x"), var("x"))),
-                vec![a]
-            )),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| proj(2, ftuple(vec![a, b]))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| if0(c, t, e)),
+            inner
+                .clone()
+                .prop_map(|a| app(lam(vec![("x", fint())], fadd(var("x"), var("x"))), vec![a])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| proj(2, ftuple(vec![a, b]))),
             inner
                 .clone()
                 .prop_map(|a| funfold(ffold(fmu("r", fint()), a))),

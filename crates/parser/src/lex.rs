@@ -116,7 +116,11 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
     let mut col: u32 = 1;
     macro_rules! push {
         ($kind:expr, $len:expr) => {{
-            out.push(Tok { kind: $kind, line, col });
+            out.push(Tok {
+                kind: $kind,
+                line,
+                col,
+            });
             i += $len;
             col += $len as u32;
         }};
@@ -177,14 +181,16 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
                     line,
                     col,
                 })?;
-                out.push(Tok { kind: TokKind::Int(n), line, col });
+                out.push(Tok {
+                    kind: TokKind::Int(n),
+                    line,
+                    col,
+                });
                 col += (i - start) as u32;
             }
             c if c.is_ascii_alphabetic() => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Tok {
@@ -203,7 +209,11 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
             }
         }
     }
-    out.push(Tok { kind: TokKind::Eof, line, col });
+    out.push(Tok {
+        kind: TokKind::Eof,
+        line,
+        col,
+    });
     Ok(out)
 }
 

@@ -7,8 +7,8 @@
 use std::fmt;
 
 use funtal_syntax::{
-    ArithOp, CodeBlock, CodeTy, FExpr, FTy, HeapFrag, HeapVal, Inst, Instr, InstrSeq, Kind,
-    Label, Lam, Mutability, Reg, RegFileTy, RetMarker, SmallVal, StackTail, StackTy, TComp, TTy,
+    ArithOp, CodeBlock, CodeTy, FExpr, FTy, HeapFrag, HeapVal, Inst, Instr, InstrSeq, Kind, Label,
+    Lam, Mutability, Reg, RegFileTy, RetMarker, SmallVal, StackTail, StackTy, TComp, TTy,
     Terminator, TyVar, TyVarDecl, VarName, WordVal,
 };
 
@@ -35,7 +35,11 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { msg: e.msg, line: e.line, col: e.col }
+        ParseError {
+            msg: e.msg,
+            line: e.line,
+            col: e.col,
+        }
     }
 }
 
@@ -44,9 +48,9 @@ type PResult<T> = Result<T, ParseError>;
 /// Names that cannot be used as identifiers for variables or labels.
 const KEYWORDS: &[&str] = &[
     "unit", "int", "mu", "exists", "ref", "box", "forall", "code", "end", "out", "if0", "lam",
-    "fold", "unfold", "pi", "FT", "TF", "import", "protect", "pack", "as", "stk", "ty",
-    "salloc", "sfree", "sld", "sst", "ld", "st", "mv", "add", "sub", "mul", "bnz", "jmp",
-    "call", "ret", "halt", "ralloc", "balloc", "unpack",
+    "fold", "unfold", "pi", "FT", "TF", "import", "protect", "pack", "as", "stk", "ty", "salloc",
+    "sfree", "sld", "sst", "ld", "st", "mv", "add", "sub", "mul", "bnz", "jmp", "call", "ret",
+    "halt", "ralloc", "balloc", "unpack",
 ];
 
 struct Parser {
@@ -56,7 +60,10 @@ struct Parser {
 
 impl Parser {
     fn new(src: &str) -> PResult<Self> {
-        Ok(Parser { toks: lex(src)?, pos: 0 })
+        Ok(Parser {
+            toks: lex(src)?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> &TokKind {
@@ -70,7 +77,11 @@ impl Parser {
 
     fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
         let (line, col) = self.here();
-        Err(ParseError { msg: msg.into(), line, col })
+        Err(ParseError {
+            msg: msg.into(),
+            line,
+            col,
+        })
     }
 
     fn bump(&mut self) -> TokKind {
@@ -134,7 +145,11 @@ impl Parser {
         let n = self.number(what)?;
         usize::try_from(n).map_err(|_| {
             let (line, col) = self.here();
-            ParseError { msg: format!("{what} must be non-negative"), line, col }
+            ParseError {
+                msg: format!("{what} must be non-negative"),
+                line,
+                col,
+            }
         })
     }
 
@@ -234,7 +249,12 @@ impl Parser {
         self.eat(&TokKind::RBrack)?;
         let (chi, sigma) = self.chi_sigma()?;
         let q = self.ret_marker()?;
-        Ok(CodeTy { delta, chi, sigma, q })
+        Ok(CodeTy {
+            delta,
+            chi,
+            sigma,
+            q,
+        })
     }
 
     fn chi_sigma(&mut self) -> PResult<(RegFileTy, StackTy)> {
@@ -264,7 +284,10 @@ impl Parser {
             other => return self.err(format!("expected a kind, found {other}")),
         };
         self.bump();
-        Ok(TyVarDecl { var: TyVar::new(v), kind })
+        Ok(TyVarDecl {
+            var: TyVar::new(v),
+            kind,
+        })
     }
 
     fn stack(&mut self) -> PResult<StackTy> {
@@ -272,7 +295,10 @@ impl Parser {
         loop {
             if self.peek() == &TokKind::Star {
                 self.bump();
-                return Ok(StackTy { prefix, tail: StackTail::Empty });
+                return Ok(StackTy {
+                    prefix,
+                    tail: StackTail::Empty,
+                });
             }
             let t = self.tty()?;
             if self.peek() == &TokKind::ColonColon {
@@ -282,7 +308,10 @@ impl Parser {
                 let TTy::Var(v) = t else {
                     return self.err("a stack must end in `*` or a stack variable");
                 };
-                return Ok(StackTy { prefix, tail: StackTail::Var(v) });
+                return Ok(StackTy {
+                    prefix,
+                    tail: StackTail::Var(v),
+                });
             }
         }
     }
@@ -367,7 +396,12 @@ impl Parser {
                 };
                 self.eat(&TokKind::Arrow)?;
                 let ret = self.fty()?;
-                Ok(FTy::Arrow { params, phi_in, phi_out, ret: Box::new(ret) })
+                Ok(FTy::Arrow {
+                    params,
+                    phi_in,
+                    phi_out,
+                    ret: Box::new(ret),
+                })
             }
             TokKind::Lt => {
                 self.bump();
@@ -430,7 +464,11 @@ impl Parser {
                 self.eat(&TokKind::Gt)?;
                 self.eat_kw("as")?;
                 let ann = self.tty()?;
-                SmallVal::Pack { hidden, body: Box::new(body), ann }
+                SmallVal::Pack {
+                    hidden,
+                    body: Box::new(body),
+                    ann,
+                }
             }
             TokKind::Ident(s) if s == "fold" => {
                 self.bump();
@@ -438,7 +476,10 @@ impl Parser {
                 let ann = self.tty()?;
                 self.eat(&TokKind::RBrack)?;
                 let body = self.small()?;
-                SmallVal::Fold { ann, body: Box::new(body) }
+                SmallVal::Fold {
+                    ann,
+                    body: Box::new(body),
+                }
             }
             TokKind::Ident(s) => {
                 if let Some(r) = Reg::from_name(&s) {
@@ -545,7 +586,10 @@ impl Parser {
                 self.bump();
                 let r = self.reg()?;
                 self.eat(&TokKind::Comma)?;
-                Ok(Instr::Bnz { r, target: self.small()? })
+                Ok(Instr::Bnz {
+                    r,
+                    target: self.small()?,
+                })
             }
             "ld" => {
                 self.bump();
@@ -564,7 +608,11 @@ impl Parser {
                 let idx = self.usize_lit("a field index")?;
                 self.eat(&TokKind::RBrack)?;
                 self.eat(&TokKind::Comma)?;
-                Ok(Instr::St { rd, idx, rs: self.reg()? })
+                Ok(Instr::St {
+                    rd,
+                    idx,
+                    rs: self.reg()?,
+                })
             }
             "ralloc" | "balloc" => {
                 self.bump();
@@ -581,7 +629,10 @@ impl Parser {
                 self.bump();
                 let rd = self.reg()?;
                 self.eat(&TokKind::Comma)?;
-                Ok(Instr::Mv { rd, src: self.small()? })
+                Ok(Instr::Mv {
+                    rd,
+                    src: self.small()?,
+                })
             }
             "salloc" => {
                 self.bump();
@@ -595,13 +646,19 @@ impl Parser {
                 self.bump();
                 let rd = self.reg()?;
                 self.eat(&TokKind::Comma)?;
-                Ok(Instr::Sld { rd, idx: self.usize_lit("a stack slot")? })
+                Ok(Instr::Sld {
+                    rd,
+                    idx: self.usize_lit("a stack slot")?,
+                })
             }
             "sst" => {
                 self.bump();
                 let idx = self.usize_lit("a stack slot")?;
                 self.eat(&TokKind::Comma)?;
-                Ok(Instr::Sst { idx, rs: self.reg()? })
+                Ok(Instr::Sst {
+                    idx,
+                    rs: self.reg()?,
+                })
             }
             "unpack" => {
                 self.bump();
@@ -610,19 +667,29 @@ impl Parser {
                 self.eat(&TokKind::Comma)?;
                 let rd = self.reg()?;
                 self.eat(&TokKind::Gt)?;
-                Ok(Instr::Unpack { tv: TyVar::new(tv), rd, src: self.small()? })
+                Ok(Instr::Unpack {
+                    tv: TyVar::new(tv),
+                    rd,
+                    src: self.small()?,
+                })
             }
             "unfold" => {
                 self.bump();
                 let rd = self.reg()?;
                 self.eat(&TokKind::Comma)?;
-                Ok(Instr::Unfold { rd, src: self.small()? })
+                Ok(Instr::Unfold {
+                    rd,
+                    src: self.small()?,
+                })
             }
             "protect" => {
                 self.bump();
                 let phi = self.prefix()?;
                 self.eat(&TokKind::Comma)?;
-                Ok(Instr::Protect { phi, zeta: TyVar::new(self.ident("a stack variable")?) })
+                Ok(Instr::Protect {
+                    phi,
+                    zeta: TyVar::new(self.ident("a stack variable")?),
+                })
             }
             "import" => {
                 self.bump();
@@ -661,7 +728,13 @@ impl Parser {
             let q = self.ret_marker()?;
             self.eat(&TokKind::Dot)?;
             let body = self.seq()?;
-            return Ok(HeapVal::Code(CodeBlock { delta, chi, sigma, q, body }));
+            return Ok(HeapVal::Code(CodeBlock {
+                delta,
+                chi,
+                sigma,
+                q,
+                body,
+            }));
         }
         let mutability = if self.at_kw("box") {
             Mutability::Boxed
@@ -821,7 +894,10 @@ impl Parser {
                     self.eat(&TokKind::LParen)?;
                     let body = self.fexpr()?;
                     self.eat(&TokKind::RParen)?;
-                    Ok(FExpr::Fold { ann, body: Box::new(body) })
+                    Ok(FExpr::Fold {
+                        ann,
+                        body: Box::new(body),
+                    })
                 }
                 "unfold" => {
                     self.bump();
@@ -838,7 +914,10 @@ impl Parser {
                     self.eat(&TokKind::LParen)?;
                     let tuple = self.fexpr()?;
                     self.eat(&TokKind::RParen)?;
-                    Ok(FExpr::Proj { idx, tuple: Box::new(tuple) })
+                    Ok(FExpr::Proj {
+                        idx,
+                        tuple: Box::new(tuple),
+                    })
                 }
                 "FT" => {
                     self.bump();
@@ -852,7 +931,11 @@ impl Parser {
                     };
                     self.eat(&TokKind::RBrack)?;
                     let comp = self.tcomp()?;
-                    Ok(FExpr::Boundary { ty, sigma_out, comp: Box::new(comp) })
+                    Ok(FExpr::Boundary {
+                        ty,
+                        sigma_out,
+                        comp: Box::new(comp),
+                    })
                 }
                 _ => Ok(FExpr::Var(VarName::new(self.ident("an expression")?))),
             },
@@ -882,9 +965,7 @@ fn small_to_word(u: SmallVal) -> Option<WordVal> {
             ann,
             body: Box::new(small_to_word(*body)?),
         }),
-        SmallVal::Inst { body, args } => {
-            Some(small_to_word(*body)?.instantiate(args))
-        }
+        SmallVal::Inst { body, args } => Some(small_to_word(*body)?.instantiate(args)),
     }
 }
 

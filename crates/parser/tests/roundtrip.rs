@@ -61,8 +61,12 @@ fn compiled_code_roundtrip() {
     use funtal_compile::codegen::{compile_program, CodegenOpts};
     use funtal_compile::lang::{factorial_program, fib_program};
     for opts in [
-        CodegenOpts { tail_call_opt: false },
-        CodegenOpts { tail_call_opt: true },
+        CodegenOpts {
+            tail_call_opt: false,
+        },
+        CodegenOpts {
+            tail_call_opt: true,
+        },
     ] {
         for p in [factorial_program(), fib_program()] {
             for name in p.defs.keys() {
@@ -104,7 +108,10 @@ fn parse_errors_have_positions() {
     assert!(parse_fexpr("1 + ").is_err());
     assert!(parse_fexpr("if0 1 {2}").is_err());
     assert!(parse_seq("mv r1, 42").is_err(), "missing terminator");
-    assert!(parse_fexpr("lam[z](x: int). x; y").is_err(), "trailing input");
+    assert!(
+        parse_fexpr("lam[z](x: int). x; y").is_err(),
+        "trailing input"
+    );
 }
 
 #[test]
@@ -117,24 +124,19 @@ fn keywords_rejected_as_identifiers() {
 // --- property-based round trips ------------------------------------------
 
 fn arb_tty(depth: u32) -> BoxedStrategy<funtal_syntax::TTy> {
-    let leaf = prop_oneof![
-        Just(int()),
-        Just(unit()),
-        "[a-c]".prop_map(|s| tvar(&s)),
-    ];
+    let leaf = prop_oneof![Just(int()), Just(unit()), "[a-c]".prop_map(|s| tvar(&s)),];
     leaf.prop_recursive(depth, 24, 3, |inner| {
         prop_oneof![
             ("[a-c]", inner.clone()).prop_map(|(v, t)| mu(&v, t)),
             ("[a-c]", inner.clone()).prop_map(|(v, t)| exists(&v, t)),
             prop::collection::vec(inner.clone(), 0..3).prop_map(ref_tuple),
             prop::collection::vec(inner.clone(), 0..3).prop_map(box_tuple),
-            (prop::collection::vec(inner.clone(), 0..2), inner)
-                .prop_map(|(prefix, t)| code_ty(
-                    vec![d_stk("z"), d_ret("e")],
-                    chi([(r1(), t)]),
-                    stack(prefix, zvar("z")),
-                    q_var("e"),
-                )),
+            (prop::collection::vec(inner.clone(), 0..2), inner).prop_map(|(prefix, t)| code_ty(
+                vec![d_stk("z"), d_ret("e")],
+                chi([(r1(), t)]),
+                stack(prefix, zvar("z")),
+                q_var("e"),
+            )),
         ]
     })
     .boxed()

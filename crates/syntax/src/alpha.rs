@@ -49,11 +49,7 @@ impl Env {
         r
     }
 
-    fn with_terms<R>(
-        &mut self,
-        pairs: &[(VarName, VarName)],
-        f: impl FnOnce(&mut Self) -> R,
-    ) -> R {
+    fn with_terms<R>(&mut self, pairs: &[(VarName, VarName)], f: impl FnOnce(&mut Self) -> R) -> R {
         let n = pairs.len();
         self.terms.extend(pairs.iter().cloned());
         let r = f(self);
@@ -99,11 +95,7 @@ fn with_deltas<R>(
     if da.iter().zip(db).any(|(x, y)| x.kind != y.kind) {
         return None;
     }
-    fn go<R>(
-        env: &mut Env,
-        pairs: &[(TyVar, TyVar)],
-        f: impl FnOnce(&mut Env) -> R,
-    ) -> R {
+    fn go<R>(env: &mut Env, pairs: &[(TyVar, TyVar)], f: impl FnOnce(&mut Env) -> R) -> R {
         match pairs.split_first() {
             None => f(env),
             Some(((a, b), rest)) => env.with_ty(a, b, |e| go(e, rest, f)),
@@ -128,14 +120,21 @@ fn eq_chi(a: &RegFileTy, b: &RegFileTy, env: &mut Env) -> bool {
     if a.0.len() != b.0.len() {
         return false;
     }
-    a.iter().zip(b.iter()).all(|((ra, ta), (rb, tb))| ra == rb && eq_tty(ta, tb, env))
+    a.iter()
+        .zip(b.iter())
+        .all(|((ra, ta), (rb, tb))| ra == rb && eq_tty(ta, tb, env))
 }
 
 fn eq_stack(a: &StackTy, b: &StackTy, env: &mut Env) -> bool {
     if a.prefix.len() != b.prefix.len() {
         return false;
     }
-    if !a.prefix.iter().zip(&b.prefix).all(|(s, t)| eq_tty(s, t, env)) {
+    if !a
+        .prefix
+        .iter()
+        .zip(&b.prefix)
+        .all(|(s, t)| eq_tty(s, t, env))
+    {
         return false;
     }
     match (&a.tail, &b.tail) {
@@ -151,10 +150,9 @@ fn eq_ret(a: &RetMarker, b: &RetMarker, env: &mut Env) -> bool {
         (RetMarker::Stack(x), RetMarker::Stack(y)) => x == y,
         (RetMarker::Var(x), RetMarker::Var(y)) => env.eq_tyvar(x, y),
         (RetMarker::Out, RetMarker::Out) => true,
-        (
-            RetMarker::End { ty: ta, sigma: sa },
-            RetMarker::End { ty: tb, sigma: sb },
-        ) => eq_tty(ta, tb, env) && eq_stack(sa, sb, env),
+        (RetMarker::End { ty: ta, sigma: sa }, RetMarker::End { ty: tb, sigma: sb }) => {
+            eq_tty(ta, tb, env) && eq_stack(sa, sb, env)
+        }
         _ => false,
     }
 }
@@ -173,8 +171,18 @@ fn eq_fty(a: &FTy, b: &FTy, env: &mut Env) -> bool {
         (FTy::Var(x), FTy::Var(y)) => env.eq_tyvar(x, y),
         (FTy::Unit, FTy::Unit) | (FTy::Int, FTy::Int) => true,
         (
-            FTy::Arrow { params: pa, phi_in: ia, phi_out: oa, ret: ra },
-            FTy::Arrow { params: pb, phi_in: ib, phi_out: ob, ret: rb },
+            FTy::Arrow {
+                params: pa,
+                phi_in: ia,
+                phi_out: oa,
+                ret: ra,
+            },
+            FTy::Arrow {
+                params: pb,
+                phi_in: ib,
+                phi_out: ob,
+                ret: rb,
+            },
         ) => {
             pa.len() == pb.len()
                 && ia.len() == ib.len()
@@ -198,8 +206,16 @@ fn eq_word(a: &WordVal, b: &WordVal, env: &mut Env) -> bool {
         (WordVal::Int(x), WordVal::Int(y)) => x == y,
         (WordVal::Loc(x), WordVal::Loc(y)) => x == y,
         (
-            WordVal::Pack { hidden: ha, body: ba, ann: aa },
-            WordVal::Pack { hidden: hb, body: bb, ann: ab },
+            WordVal::Pack {
+                hidden: ha,
+                body: ba,
+                ann: aa,
+            },
+            WordVal::Pack {
+                hidden: hb,
+                body: bb,
+                ann: ab,
+            },
         ) => eq_tty(ha, hb, env) && eq_word(ba, bb, env) && eq_tty(aa, ab, env),
         (WordVal::Fold { ann: aa, body: ba }, WordVal::Fold { ann: ab, body: bb }) => {
             eq_tty(aa, ab, env) && eq_word(ba, bb, env)
@@ -218,8 +234,16 @@ fn eq_small(a: &SmallVal, b: &SmallVal, env: &mut Env) -> bool {
         (SmallVal::Reg(x), SmallVal::Reg(y)) => x == y,
         (SmallVal::Word(x), SmallVal::Word(y)) => eq_word(x, y, env),
         (
-            SmallVal::Pack { hidden: ha, body: ba, ann: aa },
-            SmallVal::Pack { hidden: hb, body: bb, ann: ab },
+            SmallVal::Pack {
+                hidden: ha,
+                body: ba,
+                ann: aa,
+            },
+            SmallVal::Pack {
+                hidden: hb,
+                body: bb,
+                ann: ab,
+            },
         ) => eq_tty(ha, hb, env) && eq_small(ba, bb, env) && eq_tty(aa, ab, env),
         (SmallVal::Fold { ann: aa, body: ba }, SmallVal::Fold { ann: ab, body: bb }) => {
             eq_tty(aa, ab, env) && eq_small(ba, bb, env)
@@ -248,8 +272,16 @@ fn eq_seq_parts(
         (None, None) => eq_terminator(ta, tb, env),
         (Some((ha, ra)), Some((hb, rb))) => match (ha, hb) {
             (
-                Instr::Unpack { tv: va, rd: da, src: sa },
-                Instr::Unpack { tv: vb, rd: db, src: sb },
+                Instr::Unpack {
+                    tv: va,
+                    rd: da,
+                    src: sa,
+                },
+                Instr::Unpack {
+                    tv: vb,
+                    rd: db,
+                    src: sb,
+                },
             ) => {
                 da == db
                     && eq_small(sa, sb, env)
@@ -261,8 +293,20 @@ fn eq_seq_parts(
                     && env.with_ty(za, zb, |e| eq_seq_parts(ra, ta, rb, tb, e))
             }
             (
-                Instr::Import { rd: da, zeta: za, protected: pa, ty: ya, body: ba },
-                Instr::Import { rd: db, zeta: zb, protected: pb, ty: yb, body: bb },
+                Instr::Import {
+                    rd: da,
+                    zeta: za,
+                    protected: pa,
+                    ty: ya,
+                    body: ba,
+                },
+                Instr::Import {
+                    rd: db,
+                    zeta: zb,
+                    protected: pb,
+                    ty: yb,
+                    body: bb,
+                },
             ) => {
                 da == db
                     && eq_stack(pa, pb, env)
@@ -279,8 +323,18 @@ fn eq_seq_parts(
 fn eq_instr_simple(a: &Instr, b: &Instr, env: &mut Env) -> bool {
     match (a, b) {
         (
-            Instr::Arith { op: oa, rd: da, rs: sa, src: ua },
-            Instr::Arith { op: ob, rd: db, rs: sb, src: ub },
+            Instr::Arith {
+                op: oa,
+                rd: da,
+                rs: sa,
+                src: ua,
+            },
+            Instr::Arith {
+                op: ob,
+                rd: db,
+                rs: sb,
+                src: ub,
+            },
         ) => oa == ob && da == db && sa == sb && eq_small(ua, ub, env),
         (Instr::Bnz { r: ra, target: ua }, Instr::Bnz { r: rb, target: ub }) => {
             ra == rb && eq_small(ua, ub, env)
@@ -299,16 +353,38 @@ fn eq_terminator(a: &Terminator, b: &Terminator, env: &mut Env) -> bool {
     match (a, b) {
         (Terminator::Jmp(x), Terminator::Jmp(y)) => eq_small(x, y, env),
         (
-            Terminator::Call { target: ua, sigma: sa, q: qa },
-            Terminator::Call { target: ub, sigma: sb, q: qb },
+            Terminator::Call {
+                target: ua,
+                sigma: sa,
+                q: qa,
+            },
+            Terminator::Call {
+                target: ub,
+                sigma: sb,
+                q: qb,
+            },
         ) => eq_small(ua, ub, env) && eq_stack(sa, sb, env) && eq_ret(qa, qb, env),
         (
-            Terminator::Ret { target: ta, val: va },
-            Terminator::Ret { target: tb, val: vb },
+            Terminator::Ret {
+                target: ta,
+                val: va,
+            },
+            Terminator::Ret {
+                target: tb,
+                val: vb,
+            },
         ) => ta == tb && va == vb,
         (
-            Terminator::Halt { ty: ya, sigma: sa, val: va },
-            Terminator::Halt { ty: yb, sigma: sb, val: vb },
+            Terminator::Halt {
+                ty: ya,
+                sigma: sa,
+                val: va,
+            },
+            Terminator::Halt {
+                ty: yb,
+                sigma: sb,
+                val: vb,
+            },
         ) => va == vb && eq_tty(ya, yb, env) && eq_stack(sa, sb, env),
         _ => false,
     }
@@ -328,13 +404,15 @@ fn eq_heap_val(a: &HeapVal, b: &HeapVal, env: &mut Env) -> bool {
     match (a, b) {
         (HeapVal::Code(x), HeapVal::Code(y)) => eq_block(x, y, env),
         (
-            HeapVal::Tuple { mutability: ma, fields: fa },
-            HeapVal::Tuple { mutability: mb, fields: fb },
-        ) => {
-            ma == mb
-                && fa.len() == fb.len()
-                && fa.iter().zip(fb).all(|(s, t)| eq_word(s, t, env))
-        }
+            HeapVal::Tuple {
+                mutability: ma,
+                fields: fa,
+            },
+            HeapVal::Tuple {
+                mutability: mb,
+                fields: fb,
+            },
+        ) => ma == mb && fa.len() == fb.len() && fa.iter().zip(fb).all(|(s, t)| eq_word(s, t, env)),
         _ => false,
     }
 }
@@ -358,12 +436,28 @@ fn eq_fexpr(a: &FExpr, b: &FExpr, env: &mut Env) -> bool {
         (FExpr::Unit, FExpr::Unit) => true,
         (FExpr::Int(x), FExpr::Int(y)) => x == y,
         (
-            FExpr::Binop { op: oa, lhs: la, rhs: ra },
-            FExpr::Binop { op: ob, lhs: lb, rhs: rb },
+            FExpr::Binop {
+                op: oa,
+                lhs: la,
+                rhs: ra,
+            },
+            FExpr::Binop {
+                op: ob,
+                lhs: lb,
+                rhs: rb,
+            },
         ) => oa == ob && eq_fexpr(la, lb, env) && eq_fexpr(ra, rb, env),
         (
-            FExpr::If0 { cond: ca, then_branch: ta, else_branch: ea },
-            FExpr::If0 { cond: cb, then_branch: tb, else_branch: eb },
+            FExpr::If0 {
+                cond: ca,
+                then_branch: ta,
+                else_branch: ea,
+            },
+            FExpr::If0 {
+                cond: cb,
+                then_branch: tb,
+                else_branch: eb,
+            },
         ) => eq_fexpr(ca, cb, env) && eq_fexpr(ta, tb, env) && eq_fexpr(ea, eb, env),
         (FExpr::Lam(la), FExpr::Lam(lb)) => {
             if la.params.len() != lb.params.len() {
@@ -386,8 +480,16 @@ fn eq_fexpr(a: &FExpr, b: &FExpr, env: &mut Env) -> bool {
             env.with_ty(&la.zeta, &lb.zeta, |e| {
                 la.phi_in.len() == lb.phi_in.len()
                     && la.phi_out.len() == lb.phi_out.len()
-                    && la.phi_in.iter().zip(&lb.phi_in).all(|(s, t)| eq_tty(s, t, e))
-                    && la.phi_out.iter().zip(&lb.phi_out).all(|(s, t)| eq_tty(s, t, e))
+                    && la
+                        .phi_in
+                        .iter()
+                        .zip(&lb.phi_in)
+                        .all(|(s, t)| eq_tty(s, t, e))
+                    && la
+                        .phi_out
+                        .iter()
+                        .zip(&lb.phi_out)
+                        .all(|(s, t)| eq_tty(s, t, e))
                     && e.with_terms(&pairs, |e| eq_fexpr(&la.body, &lb.body, e))
             })
         }
@@ -407,8 +509,16 @@ fn eq_fexpr(a: &FExpr, b: &FExpr, env: &mut Env) -> bool {
             ia == ib && eq_fexpr(ta, tb, env)
         }
         (
-            FExpr::Boundary { ty: ya, sigma_out: sa, comp: ca },
-            FExpr::Boundary { ty: yb, sigma_out: sb, comp: cb },
+            FExpr::Boundary {
+                ty: ya,
+                sigma_out: sa,
+                comp: ca,
+            },
+            FExpr::Boundary {
+                ty: yb,
+                sigma_out: sb,
+                comp: cb,
+            },
         ) => {
             eq_fty(ya, yb, env)
                 && match (sa, sb) {
@@ -510,13 +620,11 @@ mod tests {
 
     #[test]
     fn code_types_alpha_equal_under_delta() {
-        let mk = |z: &str, e: &str| {
-            CodeTy {
-                delta: vec![TyVarDecl::stack(z), TyVarDecl::ret(e)],
-                chi: RegFileTy::new(),
-                sigma: StackTy::var(z),
-                q: RetMarker::Var(TyVar::new(e)),
-            }
+        let mk = |z: &str, e: &str| CodeTy {
+            delta: vec![TyVarDecl::stack(z), TyVarDecl::ret(e)],
+            chi: RegFileTy::new(),
+            sigma: StackTy::var(z),
+            q: RetMarker::Var(TyVar::new(e)),
         };
         assert!(alpha_eq_code_ty(&mk("z", "e"), &mk("z2", "e2")));
         // Kinds must match positionally.
@@ -534,11 +642,17 @@ mod tests {
         // µa.µb.a vs µa.µb.b
         let a = TTy::Rec(
             TyVar::new("a"),
-            Box::new(TTy::Rec(TyVar::new("b"), Box::new(TTy::Var(TyVar::new("a"))))),
+            Box::new(TTy::Rec(
+                TyVar::new("b"),
+                Box::new(TTy::Var(TyVar::new("a"))),
+            )),
         );
         let b = TTy::Rec(
             TyVar::new("a"),
-            Box::new(TTy::Rec(TyVar::new("b"), Box::new(TTy::Var(TyVar::new("b"))))),
+            Box::new(TTy::Rec(
+                TyVar::new("b"),
+                Box::new(TTy::Var(TyVar::new("b"))),
+            )),
         );
         assert!(!alpha_eq_tty(&a, &b));
     }
@@ -560,8 +674,14 @@ mod tests {
 
     #[test]
     fn ret_markers() {
-        assert!(alpha_eq_ret(&RetMarker::Reg(Reg::Ra), &RetMarker::Reg(Reg::Ra)));
-        assert!(!alpha_eq_ret(&RetMarker::Reg(Reg::Ra), &RetMarker::Reg(Reg::R1)));
+        assert!(alpha_eq_ret(
+            &RetMarker::Reg(Reg::Ra),
+            &RetMarker::Reg(Reg::Ra)
+        ));
+        assert!(!alpha_eq_ret(
+            &RetMarker::Reg(Reg::Ra),
+            &RetMarker::Reg(Reg::R1)
+        ));
         assert!(!alpha_eq_ret(&RetMarker::Stack(0), &RetMarker::Stack(1)));
         assert!(alpha_eq_ret(&RetMarker::Out, &RetMarker::Out));
     }

@@ -20,9 +20,7 @@ use crate::term::{
     ArithOp, CodeBlock, FExpr, HeapFrag, HeapVal, Instr, InstrSeq, Lam, SmallVal, TComp,
     Terminator, WordVal,
 };
-use crate::ty::{
-    FTy, Inst, Mutability, RegFileTy, RetMarker, StackTail, StackTy, TTy, TyVarDecl,
-};
+use crate::ty::{FTy, Inst, Mutability, RegFileTy, RetMarker, StackTail, StackTy, TTy, TyVarDecl};
 
 // --- registers ---------------------------------------------------------
 
@@ -213,17 +211,32 @@ pub fn reg(r: Reg) -> SmallVal {
 
 /// `add rd, rs, u`.
 pub fn add(rd: Reg, rs: Reg, src: SmallVal) -> Instr {
-    Instr::Arith { op: ArithOp::Add, rd, rs, src }
+    Instr::Arith {
+        op: ArithOp::Add,
+        rd,
+        rs,
+        src,
+    }
 }
 
 /// `sub rd, rs, u`.
 pub fn sub(rd: Reg, rs: Reg, src: SmallVal) -> Instr {
-    Instr::Arith { op: ArithOp::Sub, rd, rs, src }
+    Instr::Arith {
+        op: ArithOp::Sub,
+        rd,
+        rs,
+        src,
+    }
 }
 
 /// `mul rd, rs, u`.
 pub fn mul(rd: Reg, rs: Reg, src: SmallVal) -> Instr {
-    Instr::Arith { op: ArithOp::Mul, rd, rs, src }
+    Instr::Arith {
+        op: ArithOp::Mul,
+        rd,
+        rs,
+        src,
+    }
 }
 
 /// `bnz r, u`.
@@ -278,7 +291,11 @@ pub fn sst(idx: usize, rs: Reg) -> Instr {
 
 /// `unpack <a, rd> u`.
 pub fn unpack(tv: &str, rd: Reg, src: SmallVal) -> Instr {
-    Instr::Unpack { tv: TyVar::new(tv), rd, src }
+    Instr::Unpack {
+        tv: TyVar::new(tv),
+        rd,
+        src,
+    }
 }
 
 /// `unfold rd, u`.
@@ -288,7 +305,10 @@ pub fn unfold_i(rd: Reg, src: SmallVal) -> Instr {
 
 /// `protect phi, z`.
 pub fn protect(phi: Vec<TTy>, zeta: &str) -> Instr {
-    Instr::Protect { phi, zeta: TyVar::new(zeta) }
+    Instr::Protect {
+        phi,
+        zeta: TyVar::new(zeta),
+    }
 }
 
 /// `import rd, z = protected, TF[ty](body)`.
@@ -339,26 +359,36 @@ pub fn code_block(
     q: RetMarker,
     body: InstrSeq,
 ) -> HeapVal {
-    HeapVal::Code(CodeBlock { delta, chi, sigma, q, body })
+    HeapVal::Code(CodeBlock {
+        delta,
+        chi,
+        sigma,
+        q,
+        body,
+    })
 }
 
 /// An immutable tuple heap value.
 pub fn boxed_tuple_v(fields: Vec<WordVal>) -> HeapVal {
-    HeapVal::Tuple { mutability: Mutability::Boxed, fields }
+    HeapVal::Tuple {
+        mutability: Mutability::Boxed,
+        fields,
+    }
 }
 
 /// A mutable tuple heap value.
 pub fn ref_tuple_v(fields: Vec<WordVal>) -> HeapVal {
-    HeapVal::Tuple { mutability: Mutability::Ref, fields }
+    HeapVal::Tuple {
+        mutability: Mutability::Ref,
+        fields,
+    }
 }
 
 /// A T component from a sequence and local heap bindings.
 pub fn tcomp(seq: InstrSeq, heap: Vec<(&str, HeapVal)>) -> TComp {
     TComp {
         seq,
-        heap: HeapFrag::from_pairs(
-            heap.into_iter().map(|(l, v)| (Label::new(l), v)),
-        ),
+        heap: HeapFrag::from_pairs(heap.into_iter().map(|(l, v)| (Label::new(l), v))),
     }
 }
 
@@ -386,7 +416,12 @@ pub fn arrow(params: Vec<FTy>, ret: FTy) -> FTy {
 
 /// A stack-modifying F arrow.
 pub fn arrow_sm(params: Vec<FTy>, phi_in: Vec<TTy>, phi_out: Vec<TTy>, ret: FTy) -> FTy {
-    FTy::Arrow { params, phi_in, phi_out, ret: Box::new(ret) }
+    FTy::Arrow {
+        params,
+        phi_in,
+        phi_out,
+        ret: Box::new(ret),
+    }
 }
 
 /// An F recursive type `mu a. t`.
@@ -446,7 +481,10 @@ pub fn lam(params: Vec<(&str, FTy)>, body: FExpr) -> FExpr {
 /// An ordinary lambda with an explicit stack-tail binder name.
 pub fn lam_z(params: Vec<(&str, FTy)>, zeta: &str, body: FExpr) -> FExpr {
     FExpr::Lam(Box::new(Lam {
-        params: params.into_iter().map(|(x, t)| (VarName::new(x), t)).collect(),
+        params: params
+            .into_iter()
+            .map(|(x, t)| (VarName::new(x), t))
+            .collect(),
         zeta: TyVar::new(zeta),
         phi_in: vec![],
         phi_out: vec![],
@@ -463,7 +501,10 @@ pub fn lam_sm(
     body: FExpr,
 ) -> FExpr {
     FExpr::Lam(Box::new(Lam {
-        params: params.into_iter().map(|(x, t)| (VarName::new(x), t)).collect(),
+        params: params
+            .into_iter()
+            .map(|(x, t)| (VarName::new(x), t))
+            .collect(),
         zeta: TyVar::new(zeta),
         phi_in,
         phi_out,
@@ -478,7 +519,10 @@ pub fn app(func: FExpr, args: Vec<FExpr>) -> FExpr {
 
 /// `fold[t](e)`.
 pub fn ffold(ann: FTy, body: FExpr) -> FExpr {
-    FExpr::Fold { ann, body: Box::new(body) }
+    FExpr::Fold {
+        ann,
+        body: Box::new(body),
+    }
 }
 
 /// `unfold(e)`.
@@ -493,23 +537,37 @@ pub fn ftuple(es: Vec<FExpr>) -> FExpr {
 
 /// 1-indexed projection `pi[i](e)`.
 pub fn proj(idx: usize, tuple: FExpr) -> FExpr {
-    FExpr::Proj { idx, tuple: Box::new(tuple) }
+    FExpr::Proj {
+        idx,
+        tuple: Box::new(tuple),
+    }
 }
 
 /// A boundary `FT[ty](comp)` whose output stack equals its input stack.
 pub fn boundary(ty: FTy, comp: TComp) -> FExpr {
-    FExpr::Boundary { ty, sigma_out: None, comp: Box::new(comp) }
+    FExpr::Boundary {
+        ty,
+        sigma_out: None,
+        comp: Box::new(comp),
+    }
 }
 
 /// A boundary with an explicit output stack annotation.
 pub fn boundary_out(ty: FTy, sigma_out: StackTy, comp: TComp) -> FExpr {
-    FExpr::Boundary { ty, sigma_out: Some(sigma_out), comp: Box::new(comp) }
+    FExpr::Boundary {
+        ty,
+        sigma_out: Some(sigma_out),
+        comp: Box::new(comp),
+    }
 }
 
 /// Re-exported for building stacks whose tail is a variable with a
 /// pre-existing `TyVar`.
 pub fn stack_tail_var(v: TyVar) -> StackTy {
-    StackTy { prefix: Vec::new(), tail: StackTail::Var(v) }
+    StackTy {
+        prefix: Vec::new(),
+        tail: StackTail::Var(v),
+    }
 }
 
 #[cfg(test)]

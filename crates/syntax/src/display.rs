@@ -104,11 +104,7 @@ impl fmt::Display for CodeTy {
 
 impl fmt::Display for RegFileTy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        join(
-            f,
-            self.iter().map(|(r, t)| format!("{r}: {t}")),
-            ", ",
-        )
+        join(f, self.iter().map(|(r, t)| format!("{r}: {t}")), ", ")
     }
 }
 
@@ -174,17 +170,17 @@ impl fmt::Display for FTy {
             FTy::Var(v) => write!(f, "{v}"),
             FTy::Unit => f.write_str("unit"),
             FTy::Int => f.write_str("int"),
-            FTy::Arrow { params, phi_in, phi_out, ret } => {
+            FTy::Arrow {
+                params,
+                phi_in,
+                phi_out,
+                ret,
+            } => {
                 f.write_str("(")?;
                 join(f, params, ", ")?;
                 f.write_str(")")?;
                 if !phi_in.is_empty() || !phi_out.is_empty() {
-                    write!(
-                        f,
-                        "[{}; {}]",
-                        PrefixDisplay(phi_in),
-                        PrefixDisplay(phi_out)
-                    )?;
+                    write!(f, "[{}; {}]", PrefixDisplay(phi_in), PrefixDisplay(phi_out))?;
                 }
                 write!(f, " -> {ret}")
             }
@@ -268,7 +264,13 @@ impl fmt::Display for Instr {
             Instr::Protect { phi, zeta } => {
                 write!(f, "protect {}, {zeta}", PrefixDisplay(phi))
             }
-            Instr::Import { rd, zeta, protected, ty, body } => {
+            Instr::Import {
+                rd,
+                zeta,
+                protected,
+                ty,
+                body,
+            } => {
                 write!(f, "import {rd}, {zeta} = {protected}, TF[{ty}]({body})")
             }
         }
@@ -303,7 +305,11 @@ impl fmt::Display for CodeBlock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("code[")?;
         join(f, &self.delta, ", ")?;
-        write!(f, "]{{{}; {}}} {}. {}", self.chi, self.sigma, self.q, self.body)
+        write!(
+            f,
+            "]{{{}; {}}} {}. {}",
+            self.chi, self.sigma, self.q, self.body
+        )
     }
 }
 
@@ -323,11 +329,7 @@ impl fmt::Display for HeapVal {
 impl fmt::Display for HeapFrag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("{")?;
-        join(
-            f,
-            self.iter().map(|(l, v)| format!("{l} -> {v}")),
-            "; ",
-        )?;
+        join(f, self.iter().map(|(l, v)| format!("{l} -> {v}")), "; ")?;
         f.write_str("}")
     }
 }
@@ -355,7 +357,11 @@ impl fmt::Display for FExpr {
                 }
             }
             FExpr::Binop { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
-            FExpr::If0 { cond, then_branch, else_branch } => {
+            FExpr::If0 {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 write!(f, "if0 {cond} {{{then_branch}}} {{{else_branch}}}")
             }
             FExpr::Lam(lam) => {
@@ -370,18 +376,12 @@ impl fmt::Display for FExpr {
                         PrefixDisplay(&lam.phi_out)
                     )?;
                 }
-                join(
-                    f,
-                    lam.params.iter().map(|(x, t)| format!("{x}: {t}")),
-                    ", ",
-                )?;
+                join(f, lam.params.iter().map(|(x, t)| format!("{x}: {t}")), ", ")?;
                 write!(f, "). {}", lam.body)
             }
             FExpr::App { func, args } => {
                 match &**func {
-                    FExpr::Var(_) | FExpr::App { .. } | FExpr::Proj { .. } => {
-                        write!(f, "{func}")?
-                    }
+                    FExpr::Var(_) | FExpr::App { .. } | FExpr::Proj { .. } => write!(f, "{func}")?,
                     other => write!(f, "({other})")?,
                 }
                 f.write_str("(")?;
@@ -396,7 +396,11 @@ impl fmt::Display for FExpr {
                 f.write_str(">")
             }
             FExpr::Proj { idx, tuple } => write!(f, "pi[{idx}]({tuple})"),
-            FExpr::Boundary { ty, sigma_out, comp } => match sigma_out {
+            FExpr::Boundary {
+                ty,
+                sigma_out,
+                comp,
+            } => match sigma_out {
                 None => write!(f, "FT[{ty}]{comp}"),
                 Some(s) => write!(f, "FT[{ty}; {s}]{comp}"),
             },
@@ -436,10 +440,7 @@ mod tests {
             StackTy::var("z"),
             RetMarker::Var(TyVar::new("e")),
         );
-        assert_eq!(
-            t.to_string(),
-            "box forall[z: stk, e: ret]{r1: int; z} e"
-        );
+        assert_eq!(t.to_string(), "box forall[z: stk, e: ret]{r1: int; z} e");
     }
 
     #[test]
@@ -467,11 +468,7 @@ mod tests {
                 zeta: TyVar::new("z"),
                 phi_in: vec![],
                 phi_out: vec![],
-                body: FExpr::binop(
-                    ArithOp::Add,
-                    FExpr::Var(VarName::new("x")),
-                    FExpr::Int(1),
-                ),
+                body: FExpr::binop(ArithOp::Add, FExpr::Var(VarName::new("x")), FExpr::Int(1)),
             })),
             vec![FExpr::Int(41)],
         );

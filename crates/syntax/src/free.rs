@@ -7,8 +7,8 @@ use std::collections::BTreeSet;
 
 use crate::ids::{TyVar, VarName};
 use crate::term::{
-    CodeBlock, Component, FExpr, HeapFrag, HeapVal, Instr, InstrSeq, SmallVal, TComp,
-    Terminator, WordVal,
+    CodeBlock, Component, FExpr, HeapFrag, HeapVal, Instr, InstrSeq, SmallVal, TComp, Terminator,
+    WordVal,
 };
 use crate::ty::{CodeTy, FTy, HeapTy, Inst, RegFileTy, RetMarker, StackTail, StackTy, TTy};
 
@@ -109,7 +109,12 @@ fn go_fty(t: &FTy, scope: &mut Scope, out: &mut BTreeSet<TyVar>) {
     match t {
         FTy::Var(v) => hit(v, scope, out),
         FTy::Unit | FTy::Int => {}
-        FTy::Arrow { params, phi_in, phi_out, ret } => {
+        FTy::Arrow {
+            params,
+            phi_in,
+            phi_out,
+            ret,
+        } => {
             params.iter().for_each(|t| go_fty(t, scope, out));
             phi_in.iter().for_each(|t| go_tty(t, scope, out));
             phi_out.iter().for_each(|t| go_tty(t, scope, out));
@@ -192,7 +197,13 @@ fn go_seq(instrs: &[Instr], term: &Terminator, scope: &mut Scope, out: &mut BTre
             phi.iter().for_each(|t| go_tty(t, scope, out));
             scope.with(zeta, |s| go_seq(rest, term, s, out));
         }
-        Instr::Import { zeta, protected, ty, body, .. } => {
+        Instr::Import {
+            zeta,
+            protected,
+            ty,
+            body,
+            ..
+        } => {
             go_stack(protected, scope, out);
             scope.with(zeta, |s| {
                 go_fty(ty, s, out);
@@ -254,7 +265,11 @@ fn go_fexpr_tys(e: &FExpr, scope: &mut Scope, out: &mut BTreeSet<TyVar>) {
             go_fexpr_tys(lhs, scope, out);
             go_fexpr_tys(rhs, scope, out);
         }
-        FExpr::If0 { cond, then_branch, else_branch } => {
+        FExpr::If0 {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             go_fexpr_tys(cond, scope, out);
             go_fexpr_tys(then_branch, scope, out);
             go_fexpr_tys(else_branch, scope, out);
@@ -280,7 +295,11 @@ fn go_fexpr_tys(e: &FExpr, scope: &mut Scope, out: &mut BTreeSet<TyVar>) {
         FExpr::Unfold(body) => go_fexpr_tys(body, scope, out),
         FExpr::Tuple(es) => es.iter().for_each(|e| go_fexpr_tys(e, scope, out)),
         FExpr::Proj { tuple, .. } => go_fexpr_tys(tuple, scope, out),
-        FExpr::Boundary { ty, sigma_out, comp } => {
+        FExpr::Boundary {
+            ty,
+            sigma_out,
+            comp,
+        } => {
             go_fty(ty, scope, out);
             if let Some(s) = sigma_out {
                 go_stack(s, scope, out);
@@ -377,7 +396,11 @@ fn go_fv(e: &FExpr, scope: &mut Vec<VarName>, out: &mut BTreeSet<VarName>) {
             go_fv(lhs, scope, out);
             go_fv(rhs, scope, out);
         }
-        FExpr::If0 { cond, then_branch, else_branch } => {
+        FExpr::If0 {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             go_fv(cond, scope, out);
             go_fv(then_branch, scope, out);
             go_fv(else_branch, scope, out);
@@ -442,7 +465,10 @@ mod tests {
         let t = TTy::Rec(TyVar::new("a"), Box::new(TTy::Var(TyVar::new("a"))));
         assert!(ftv_tty(&t).is_empty());
         let open = TTy::Rec(TyVar::new("a"), Box::new(TTy::Var(TyVar::new("b"))));
-        assert_eq!(ftv_tty(&open).into_iter().collect::<Vec<_>>(), vec![TyVar::new("b")]);
+        assert_eq!(
+            ftv_tty(&open).into_iter().collect::<Vec<_>>(),
+            vec![TyVar::new("b")]
+        );
     }
 
     #[test]

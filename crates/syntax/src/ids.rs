@@ -154,10 +154,7 @@ impl fmt::Display for Reg {
 ///
 /// Fresh names use a `#` suffix, which the concrete syntax rejects in
 /// identifiers, so generated names can never collide with source names.
-pub fn fresh_tyvar<'a>(
-    base: &TyVar,
-    avoid: impl Fn(&TyVar) -> bool,
-) -> TyVar {
+pub fn fresh_tyvar(base: &TyVar, avoid: impl Fn(&TyVar) -> bool) -> TyVar {
     let stem = base.as_str().split('#').next().unwrap_or("x");
     let mut i: u64 = 1;
     loop {

@@ -48,8 +48,8 @@ pub mod ty;
 
 pub use ids::{Label, Reg, TyVar, VarName};
 pub use term::{
-    ArithOp, CodeBlock, Component, FExpr, HeapFrag, HeapVal, Instr, InstrSeq, Lam, SmallVal,
-    TComp, Terminator, WordVal,
+    ArithOp, CodeBlock, Component, FExpr, HeapFrag, HeapVal, Instr, InstrSeq, Lam, SmallVal, TComp,
+    Terminator, WordVal,
 };
 pub use ty::{
     CodeTy, FTy, HeapTy, HeapTyping, Inst, Kind, Mutability, RegFileTy, RetMarker, StackTail,

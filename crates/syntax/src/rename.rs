@@ -11,8 +11,7 @@ use std::collections::BTreeMap;
 
 use crate::ids::Label;
 use crate::term::{
-    CodeBlock, FExpr, HeapFrag, HeapVal, Instr, InstrSeq, Lam, SmallVal, TComp, Terminator,
-    WordVal,
+    CodeBlock, FExpr, HeapFrag, HeapVal, Instr, InstrSeq, Lam, SmallVal, TComp, Terminator, WordVal,
 };
 
 type Renaming = BTreeMap<Label, Label>;
@@ -72,15 +71,30 @@ pub fn rename_instr(i: &Instr, map: &Renaming) -> Instr {
             rs: *rs,
             src: rename_small(src, map),
         },
-        Instr::Bnz { r, target } => Instr::Bnz { r: *r, target: rename_small(target, map) },
-        Instr::Mv { rd, src } => Instr::Mv { rd: *rd, src: rename_small(src, map) },
+        Instr::Bnz { r, target } => Instr::Bnz {
+            r: *r,
+            target: rename_small(target, map),
+        },
+        Instr::Mv { rd, src } => Instr::Mv {
+            rd: *rd,
+            src: rename_small(src, map),
+        },
         Instr::Unpack { tv, rd, src } => Instr::Unpack {
             tv: tv.clone(),
             rd: *rd,
             src: rename_small(src, map),
         },
-        Instr::Unfold { rd, src } => Instr::Unfold { rd: *rd, src: rename_small(src, map) },
-        Instr::Import { rd, zeta, protected, ty, body } => Instr::Import {
+        Instr::Unfold { rd, src } => Instr::Unfold {
+            rd: *rd,
+            src: rename_small(src, map),
+        },
+        Instr::Import {
+            rd,
+            zeta,
+            protected,
+            ty,
+            body,
+        } => Instr::Import {
             rd: *rd,
             zeta: zeta.clone(),
             protected: protected.clone(),
@@ -152,7 +166,11 @@ pub fn rename_fexpr(e: &FExpr, map: &Renaming) -> FExpr {
             lhs: Box::new(rename_fexpr(lhs, map)),
             rhs: Box::new(rename_fexpr(rhs, map)),
         },
-        FExpr::If0 { cond, then_branch, else_branch } => FExpr::If0 {
+        FExpr::If0 {
+            cond,
+            then_branch,
+            else_branch,
+        } => FExpr::If0 {
             cond: Box::new(rename_fexpr(cond, map)),
             then_branch: Box::new(rename_fexpr(then_branch, map)),
             else_branch: Box::new(rename_fexpr(else_branch, map)),
@@ -175,7 +193,11 @@ pub fn rename_fexpr(e: &FExpr, map: &Renaming) -> FExpr {
             idx: *idx,
             tuple: Box::new(rename_fexpr(tuple, map)),
         },
-        FExpr::Boundary { ty, sigma_out, comp } => FExpr::Boundary {
+        FExpr::Boundary {
+            ty,
+            sigma_out,
+            comp,
+        } => FExpr::Boundary {
             ty: ty.clone(),
             sigma_out: sigma_out.clone(),
             comp: Box::new(rename_tcomp(comp, map)),

@@ -7,9 +7,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::free::{
-    ftv_inst, fv_fexpr,
-};
+use crate::free::{ftv_inst, fv_fexpr};
 use crate::ids::{fresh_tyvar, fresh_varname, TyVar, VarName};
 use crate::term::{
     CodeBlock, Component, FExpr, HeapFrag, HeapVal, Instr, InstrSeq, Lam, SmallVal, TComp,
@@ -38,7 +36,9 @@ impl Subst {
 
     /// Builds a substitution from pairs; later pairs overwrite earlier.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (TyVar, Inst)>) -> Self {
-        Subst { map: pairs.into_iter().collect() }
+        Subst {
+            map: pairs.into_iter().collect(),
+        }
     }
 
     /// Adds a binding.
@@ -80,7 +80,9 @@ impl Subst {
         if !range.contains(v) {
             return (inner, v.clone());
         }
-        let fresh = fresh_tyvar(v, |cand| range.contains(cand) || inner.map.contains_key(cand));
+        let fresh = fresh_tyvar(v, |cand| {
+            range.contains(cand) || inner.map.contains_key(cand)
+        });
         let rename = match kind {
             Kind::Ty => Inst::Ty(TTy::Var(fresh.clone())),
             Kind::Stack => Inst::Stack(StackTy::var(fresh.clone())),
@@ -99,9 +101,7 @@ impl Subst {
             TTy::Var(v) => match self.lookup(v) {
                 None => t.clone(),
                 Some(Inst::Ty(t2)) => t2.clone(),
-                Some(other) => panic!(
-                    "kind error: substituting {other:?} for type variable {v}"
-                ),
+                Some(other) => panic!("kind error: substituting {other:?} for type variable {v}"),
             },
             TTy::Unit | TTy::Int => t.clone(),
             TTy::Exists(v, body) => {
@@ -133,7 +133,10 @@ impl Subst {
         for d in &c.delta {
             let (s2, v2) = s.under_binder(&d.var, d.kind);
             s = s2;
-            delta.push(crate::ty::TyVarDecl { var: v2, kind: d.kind });
+            delta.push(crate::ty::TyVarDecl {
+                var: v2,
+                kind: d.kind,
+            });
         }
         CodeTy {
             delta,
@@ -154,17 +157,24 @@ impl Subst {
     pub fn stack(&self, s: &StackTy) -> StackTy {
         let prefix: Vec<TTy> = s.prefix.iter().map(|t| self.tty(t)).collect();
         match &s.tail {
-            StackTail::Empty => StackTy { prefix, tail: StackTail::Empty },
+            StackTail::Empty => StackTy {
+                prefix,
+                tail: StackTail::Empty,
+            },
             StackTail::Var(v) => match self.lookup(v) {
-                None => StackTy { prefix, tail: StackTail::Var(v.clone()) },
+                None => StackTy {
+                    prefix,
+                    tail: StackTail::Var(v.clone()),
+                },
                 Some(Inst::Stack(rep)) => {
                     let mut prefix = prefix;
                     prefix.extend(rep.prefix.iter().cloned());
-                    StackTy { prefix, tail: rep.tail.clone() }
+                    StackTy {
+                        prefix,
+                        tail: rep.tail.clone(),
+                    }
                 }
-                Some(other) => panic!(
-                    "kind error: substituting {other:?} for stack variable {v}"
-                ),
+                Some(other) => panic!("kind error: substituting {other:?} for stack variable {v}"),
             },
         }
     }
@@ -176,9 +186,9 @@ impl Subst {
             RetMarker::Var(v) => match self.lookup(v) {
                 None => q.clone(),
                 Some(Inst::Ret(q2)) => q2.clone(),
-                Some(other) => panic!(
-                    "kind error: substituting {other:?} for return-marker variable {v}"
-                ),
+                Some(other) => {
+                    panic!("kind error: substituting {other:?} for return-marker variable {v}")
+                }
             },
             RetMarker::End { ty, sigma } => RetMarker::End {
                 ty: Box::new(self.tty(ty)),
@@ -211,7 +221,12 @@ impl Subst {
                 ),
             },
             FTy::Unit | FTy::Int => t.clone(),
-            FTy::Arrow { params, phi_in, phi_out, ret } => FTy::Arrow {
+            FTy::Arrow {
+                params,
+                phi_in,
+                phi_out,
+                ret,
+            } => FTy::Arrow {
                 params: params.iter().map(|t| self.fty(t)).collect(),
                 phi_in: phi_in.iter().map(|t| self.tty(t)).collect(),
                 phi_out: phi_out.iter().map(|t| self.tty(t)).collect(),
@@ -281,13 +296,28 @@ impl Subst {
         };
         let (head2, inner) = match head {
             Instr::Arith { op, rd, rs, src } => (
-                Instr::Arith { op: *op, rd: *rd, rs: *rs, src: self.small(src) },
+                Instr::Arith {
+                    op: *op,
+                    rd: *rd,
+                    rs: *rs,
+                    src: self.small(src),
+                },
                 self.clone(),
             ),
-            Instr::Bnz { r, target } => {
-                (Instr::Bnz { r: *r, target: self.small(target) }, self.clone())
-            }
-            Instr::Mv { rd, src } => (Instr::Mv { rd: *rd, src: self.small(src) }, self.clone()),
+            Instr::Bnz { r, target } => (
+                Instr::Bnz {
+                    r: *r,
+                    target: self.small(target),
+                },
+                self.clone(),
+            ),
+            Instr::Mv { rd, src } => (
+                Instr::Mv {
+                    rd: *rd,
+                    src: self.small(src),
+                },
+                self.clone(),
+            ),
             Instr::Ld { .. }
             | Instr::St { .. }
             | Instr::Ralloc { .. }
@@ -296,20 +326,43 @@ impl Subst {
             | Instr::Sfree(_)
             | Instr::Sld { .. }
             | Instr::Sst { .. } => (head.clone(), self.clone()),
-            Instr::Unfold { rd, src } => {
-                (Instr::Unfold { rd: *rd, src: self.small(src) }, self.clone())
-            }
+            Instr::Unfold { rd, src } => (
+                Instr::Unfold {
+                    rd: *rd,
+                    src: self.small(src),
+                },
+                self.clone(),
+            ),
             Instr::Unpack { tv, rd, src } => {
                 let src2 = self.small(src);
                 let (s, tv2) = self.under_binder(tv, Kind::Ty);
-                (Instr::Unpack { tv: tv2, rd: *rd, src: src2 }, s)
+                (
+                    Instr::Unpack {
+                        tv: tv2,
+                        rd: *rd,
+                        src: src2,
+                    },
+                    s,
+                )
             }
             Instr::Protect { phi, zeta } => {
                 let phi2: Vec<TTy> = phi.iter().map(|t| self.tty(t)).collect();
                 let (s, z2) = self.under_binder(zeta, Kind::Stack);
-                (Instr::Protect { phi: phi2, zeta: z2 }, s)
+                (
+                    Instr::Protect {
+                        phi: phi2,
+                        zeta: z2,
+                    },
+                    s,
+                )
             }
-            Instr::Import { rd, zeta, protected, ty, body } => {
+            Instr::Import {
+                rd,
+                zeta,
+                protected,
+                ty,
+                body,
+            } => {
                 let protected2 = self.stack(protected);
                 let (s, z2) = self.under_binder(zeta, Kind::Stack);
                 let ty2 = s.fty(ty);
@@ -342,7 +395,10 @@ impl Subst {
                 sigma: self.stack(sigma),
                 q: self.ret(q),
             },
-            Terminator::Ret { target, val } => Terminator::Ret { target: *target, val: *val },
+            Terminator::Ret { target, val } => Terminator::Ret {
+                target: *target,
+                val: *val,
+            },
             Terminator::Halt { ty, sigma, val } => Terminator::Halt {
                 ty: self.tty(ty),
                 sigma: self.stack(sigma),
@@ -358,7 +414,10 @@ impl Subst {
         for d in &b.delta {
             let (s2, v2) = s.under_binder(&d.var, d.kind);
             s = s2;
-            delta.push(crate::ty::TyVarDecl { var: v2, kind: d.kind });
+            delta.push(crate::ty::TyVarDecl {
+                var: v2,
+                kind: d.kind,
+            });
         }
         CodeBlock {
             delta,
@@ -382,12 +441,17 @@ impl Subst {
 
     /// Applies the substitution to a heap fragment.
     pub fn heap_frag(&self, h: &HeapFrag) -> HeapFrag {
-        h.iter().map(|(l, v)| (l.clone(), self.heap_val(v))).collect()
+        h.iter()
+            .map(|(l, v)| (l.clone(), self.heap_val(v)))
+            .collect()
     }
 
     /// Applies the substitution to a T component.
     pub fn tcomp(&self, c: &TComp) -> TComp {
-        TComp { seq: self.seq(&c.seq), heap: self.heap_frag(&c.heap) }
+        TComp {
+            seq: self.seq(&c.seq),
+            heap: self.heap_frag(&c.heap),
+        }
     }
 
     /// Applies the substitution to the type annotations of an F
@@ -403,14 +467,21 @@ impl Subst {
                 lhs: Box::new(self.fexpr(lhs)),
                 rhs: Box::new(self.fexpr(rhs)),
             },
-            FExpr::If0 { cond, then_branch, else_branch } => FExpr::If0 {
+            FExpr::If0 {
+                cond,
+                then_branch,
+                else_branch,
+            } => FExpr::If0 {
                 cond: Box::new(self.fexpr(cond)),
                 then_branch: Box::new(self.fexpr(then_branch)),
                 else_branch: Box::new(self.fexpr(else_branch)),
             },
             FExpr::Lam(lam) => {
-                let params: Vec<(VarName, FTy)> =
-                    lam.params.iter().map(|(x, t)| (x.clone(), self.fty(t))).collect();
+                let params: Vec<(VarName, FTy)> = lam
+                    .params
+                    .iter()
+                    .map(|(x, t)| (x.clone(), self.fty(t)))
+                    .collect();
                 let (s, z2) = self.under_binder(&lam.zeta, Kind::Stack);
                 FExpr::Lam(Box::new(Lam {
                     params,
@@ -430,10 +501,15 @@ impl Subst {
             },
             FExpr::Unfold(body) => FExpr::Unfold(Box::new(self.fexpr(body))),
             FExpr::Tuple(es) => FExpr::Tuple(es.iter().map(|e| self.fexpr(e)).collect()),
-            FExpr::Proj { idx, tuple } => {
-                FExpr::Proj { idx: *idx, tuple: Box::new(self.fexpr(tuple)) }
-            }
-            FExpr::Boundary { ty, sigma_out, comp } => FExpr::Boundary {
+            FExpr::Proj { idx, tuple } => FExpr::Proj {
+                idx: *idx,
+                tuple: Box::new(self.fexpr(tuple)),
+            },
+            FExpr::Boundary {
+                ty,
+                sigma_out,
+                comp,
+            } => FExpr::Boundary {
                 ty: self.fty(ty),
                 sigma_out: sigma_out.as_ref().map(|s| self.stack(s)),
                 comp: Box::new(self.tcomp(comp)),
@@ -468,7 +544,11 @@ pub fn subst_fvars(e: &FExpr, map: &BTreeMap<VarName, FExpr>) -> FExpr {
             lhs: Box::new(subst_fvars(lhs, map)),
             rhs: Box::new(subst_fvars(rhs, map)),
         },
-        FExpr::If0 { cond, then_branch, else_branch } => FExpr::If0 {
+        FExpr::If0 {
+            cond,
+            then_branch,
+            else_branch,
+        } => FExpr::If0 {
             cond: Box::new(subst_fvars(cond, map)),
             then_branch: Box::new(subst_fvars(then_branch, map)),
             else_branch: Box::new(subst_fvars(else_branch, map)),
@@ -522,10 +602,15 @@ pub fn subst_fvars(e: &FExpr, map: &BTreeMap<VarName, FExpr>) -> FExpr {
         },
         FExpr::Unfold(body) => FExpr::Unfold(Box::new(subst_fvars(body, map))),
         FExpr::Tuple(es) => FExpr::Tuple(es.iter().map(|e| subst_fvars(e, map)).collect()),
-        FExpr::Proj { idx, tuple } => {
-            FExpr::Proj { idx: *idx, tuple: Box::new(subst_fvars(tuple, map)) }
-        }
-        FExpr::Boundary { ty, sigma_out, comp } => FExpr::Boundary {
+        FExpr::Proj { idx, tuple } => FExpr::Proj {
+            idx: *idx,
+            tuple: Box::new(subst_fvars(tuple, map)),
+        },
+        FExpr::Boundary {
+            ty,
+            sigma_out,
+            comp,
+        } => FExpr::Boundary {
             ty: ty.clone(),
             sigma_out: sigma_out.clone(),
             comp: Box::new(subst_fvars_tcomp(comp, map)),
@@ -563,7 +648,13 @@ fn subst_fvars_seq(seq: &InstrSeq, map: &BTreeMap<VarName, FExpr>) -> InstrSeq {
         .instrs
         .iter()
         .map(|i| match i {
-            Instr::Import { rd, zeta, protected, ty, body } => Instr::Import {
+            Instr::Import {
+                rd,
+                zeta,
+                protected,
+                ty,
+                body,
+            } => Instr::Import {
                 rd: *rd,
                 zeta: zeta.clone(),
                 protected: protected.clone(),
@@ -675,8 +766,7 @@ mod tests {
             sigma: StackTy::var("z"),
             q: RetMarker::Reg(Reg::Ra),
         };
-        let out =
-            Subst::one(z(), Inst::Stack(StackTy::nil().cons(TTy::Int))).code_ty(&c);
+        let out = Subst::one(z(), Inst::Stack(StackTy::nil().cons(TTy::Int))).code_ty(&c);
         assert_eq!(out.sigma, StackTy::var("z"));
     }
 }

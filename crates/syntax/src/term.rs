@@ -89,11 +89,17 @@ impl WordVal {
             return self;
         }
         match self {
-            WordVal::Inst { body, args: mut first } => {
+            WordVal::Inst {
+                body,
+                args: mut first,
+            } => {
                 first.append(&mut args);
                 WordVal::Inst { body, args: first }
             }
-            other => WordVal::Inst { body: Box::new(other), args },
+            other => WordVal::Inst {
+                body: Box::new(other),
+                args,
+            },
         }
     }
 
@@ -165,11 +171,17 @@ impl SmallVal {
             return self;
         }
         match self {
-            SmallVal::Inst { body, args: mut first } => {
+            SmallVal::Inst {
+                body,
+                args: mut first,
+            } => {
                 first.append(&mut args);
                 SmallVal::Inst { body, args: first }
             }
-            other => SmallVal::Inst { body: Box::new(other), args },
+            other => SmallVal::Inst {
+                body: Box::new(other),
+                args,
+            },
         }
     }
 }
@@ -352,7 +364,10 @@ impl InstrSeq {
 
     /// A sequence consisting only of a terminator.
     pub fn just(term: Terminator) -> Self {
-        InstrSeq { instrs: Vec::new(), term }
+        InstrSeq {
+            instrs: Vec::new(),
+            term,
+        }
     }
 
     /// True when the sequence is exactly a `halt` with no pending
@@ -381,6 +396,10 @@ pub struct CodeBlock {
 ///
 /// Runtime tuples record their mutability so the machine can reject
 /// stores into immutable tuples and infer heap typings.
+// Code blocks dominate tuples in size, but heap values live behind the
+// heap map and are never moved in bulk, so boxing the block would cost
+// an indirection on the machine's hottest lookup for no benefit.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum HeapVal {
     /// A code block.
@@ -444,7 +463,10 @@ pub struct TComp {
 impl TComp {
     /// A component with an empty local heap.
     pub fn bare(seq: InstrSeq) -> Self {
-        TComp { seq, heap: HeapFrag::new() }
+        TComp {
+            seq,
+            heap: HeapFrag::new(),
+        }
     }
 
     /// A component with local blocks.
@@ -550,12 +572,19 @@ pub enum FExpr {
 impl FExpr {
     /// Builds an application node.
     pub fn app(func: FExpr, args: Vec<FExpr>) -> FExpr {
-        FExpr::App { func: Box::new(func), args }
+        FExpr::App {
+            func: Box::new(func),
+            args,
+        }
     }
 
     /// Builds a binary operation node.
     pub fn binop(op: ArithOp, lhs: FExpr, rhs: FExpr) -> FExpr {
-        FExpr::Binop { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        FExpr::Binop {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// True when the expression is an F value (Fig 5): unit, int, lambda,

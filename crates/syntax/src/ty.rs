@@ -34,17 +34,26 @@ pub struct TyVarDecl {
 impl TyVarDecl {
     /// A `α : ty` binder.
     pub fn ty(v: impl Into<TyVar>) -> Self {
-        TyVarDecl { var: v.into(), kind: Kind::Ty }
+        TyVarDecl {
+            var: v.into(),
+            kind: Kind::Ty,
+        }
     }
 
     /// A `ζ : stk` binder.
     pub fn stack(v: impl Into<TyVar>) -> Self {
-        TyVarDecl { var: v.into(), kind: Kind::Stack }
+        TyVarDecl {
+            var: v.into(),
+            kind: Kind::Stack,
+        }
     }
 
     /// An `ε : ret` binder.
     pub fn ret(v: impl Into<TyVar>) -> Self {
-        TyVarDecl { var: v.into(), kind: Kind::Ret }
+        TyVarDecl {
+            var: v.into(),
+            kind: Kind::Ret,
+        }
     }
 }
 
@@ -80,7 +89,12 @@ pub enum TTy {
 impl TTy {
     /// Convenience constructor for a `box ∀[∆].{χ;σ}q` code-pointer type.
     pub fn code(delta: Vec<TyVarDecl>, chi: RegFileTy, sigma: StackTy, q: RetMarker) -> TTy {
-        TTy::Boxed(Box::new(HeapTy::Code(CodeTy { delta, chi, sigma, q })))
+        TTy::Boxed(Box::new(HeapTy::Code(CodeTy {
+            delta,
+            chi,
+            sigma,
+            q,
+        })))
     }
 
     /// Convenience constructor for an immutable tuple `box ⟨τ, …⟩`.
@@ -203,12 +217,18 @@ pub struct StackTy {
 impl StackTy {
     /// The concrete empty stack `•`.
     pub fn nil() -> Self {
-        StackTy { prefix: Vec::new(), tail: StackTail::Empty }
+        StackTy {
+            prefix: Vec::new(),
+            tail: StackTail::Empty,
+        }
     }
 
     /// A bare abstract stack `ζ`.
     pub fn var(z: impl Into<TyVar>) -> Self {
-        StackTy { prefix: Vec::new(), tail: StackTail::Var(z.into()) }
+        StackTy {
+            prefix: Vec::new(),
+            tail: StackTail::Var(z.into()),
+        }
     }
 
     /// `φ :: tail` with an explicit prefix.
@@ -221,7 +241,10 @@ impl StackTy {
         let mut prefix = Vec::with_capacity(self.prefix.len() + 1);
         prefix.push(ty);
         prefix.extend(self.prefix.iter().cloned());
-        StackTy { prefix, tail: self.tail.clone() }
+        StackTy {
+            prefix,
+            tail: self.tail.clone(),
+        }
     }
 
     /// Pushes a whole prefix (given top-first) on top of `self`.
@@ -229,7 +252,10 @@ impl StackTy {
         let mut prefix = Vec::with_capacity(self.prefix.len() + phi.len());
         prefix.extend(phi.iter().cloned());
         prefix.extend(self.prefix.iter().cloned());
-        StackTy { prefix, tail: self.tail.clone() }
+        StackTy {
+            prefix,
+            tail: self.tail.clone(),
+        }
     }
 
     /// The type of visible slot `i` (0 = top), if it is not hidden in the
@@ -284,7 +310,10 @@ impl StackTy {
             StackTail::Var(_) => {
                 let mut prefix = self.prefix.clone();
                 prefix.extend(replacement.prefix.iter().cloned());
-                StackTy { prefix, tail: replacement.tail.clone() }
+                StackTy {
+                    prefix,
+                    tail: replacement.tail.clone(),
+                }
             }
         }
     }
@@ -319,7 +348,10 @@ pub enum RetMarker {
 impl RetMarker {
     /// Constructs `end{τ;σ}`.
     pub fn end(ty: TTy, sigma: StackTy) -> Self {
-        RetMarker::End { ty: Box::new(ty), sigma }
+        RetMarker::End {
+            ty: Box::new(ty),
+            sigma,
+        }
     }
 
     /// The paper's `inc(q, n)`: shifts a stack-index marker by `n` slots
@@ -375,12 +407,7 @@ impl HeapTyping {
     }
 
     /// Inserts a binding, returning any previous entry.
-    pub fn insert(
-        &mut self,
-        l: Label,
-        m: Mutability,
-        ty: HeapTy,
-    ) -> Option<(Mutability, HeapTy)> {
+    pub fn insert(&mut self, l: Label, m: Mutability, ty: HeapTy) -> Option<(Mutability, HeapTy)> {
         self.0.insert(l, (m, ty))
     }
 
@@ -440,7 +467,12 @@ pub enum FTy {
 impl FTy {
     /// Convenience constructor for an ordinary arrow `(params) → ret`.
     pub fn arrow(params: Vec<FTy>, ret: FTy) -> FTy {
-        FTy::Arrow { params, phi_in: Vec::new(), phi_out: Vec::new(), ret: Box::new(ret) }
+        FTy::Arrow {
+            params,
+            phi_in: Vec::new(),
+            phi_out: Vec::new(),
+            ret: Box::new(ret),
+        }
     }
 
     /// True for arrows whose stack prefixes are both empty.
@@ -485,7 +517,10 @@ mod tests {
     #[test]
     fn marker_shift_only_affects_stack_indices() {
         assert_eq!(RetMarker::Stack(2).shifted_by(3), RetMarker::Stack(5));
-        assert_eq!(RetMarker::Reg(Reg::Ra).shifted_by(3), RetMarker::Reg(Reg::Ra));
+        assert_eq!(
+            RetMarker::Reg(Reg::Ra).shifted_by(3),
+            RetMarker::Reg(Reg::Ra)
+        );
         assert_eq!(RetMarker::Out.shifted_by(-1), RetMarker::Out);
     }
 
@@ -500,8 +535,16 @@ mod tests {
     #[test]
     fn loc_ty_distinguishes_ref_and_box() {
         let mut psi = HeapTyping::new();
-        psi.insert(Label::new("a"), Mutability::Ref, HeapTy::Tuple(vec![TTy::Int]));
-        psi.insert(Label::new("b"), Mutability::Boxed, HeapTy::Tuple(vec![TTy::Int]));
+        psi.insert(
+            Label::new("a"),
+            Mutability::Ref,
+            HeapTy::Tuple(vec![TTy::Int]),
+        );
+        psi.insert(
+            Label::new("b"),
+            Mutability::Boxed,
+            HeapTy::Tuple(vec![TTy::Int]),
+        );
         assert_eq!(psi.loc_ty(&Label::new("a")), Some(TTy::Ref(vec![TTy::Int])));
         assert_eq!(
             psi.loc_ty(&Label::new("b")),

@@ -10,11 +10,7 @@ use funtal_syntax::{Inst, StackTail, StackTy, TTy, TyVar};
 use proptest::prelude::*;
 
 fn arb_tty(depth: u32) -> BoxedStrategy<TTy> {
-    let leaf = prop_oneof![
-        Just(int()),
-        Just(unit()),
-        "[a-d]".prop_map(|s| tvar(&s)),
-    ];
+    let leaf = prop_oneof![Just(int()), Just(unit()), "[a-d]".prop_map(|s| tvar(&s)),];
     leaf.prop_recursive(depth, 24, 3, |inner| {
         prop_oneof![
             ("[a-d]", inner.clone()).prop_map(|(v, t)| mu(&v, t)),

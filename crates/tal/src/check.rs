@@ -12,9 +12,8 @@ use std::collections::BTreeMap;
 use funtal_syntax::alpha::{alpha_eq_ret, alpha_eq_stack, alpha_eq_tty};
 use funtal_syntax::subst::Subst;
 use funtal_syntax::{
-    CodeBlock, CodeTy, HeapTy, HeapTyping, HeapVal, Inst, Instr, InstrSeq, Kind, Label,
-    Mutability, Reg, RegFileTy, RetMarker, SmallVal, StackTail, StackTy, TComp, TTy, Terminator,
-    TyVar,
+    CodeBlock, CodeTy, HeapTy, HeapTyping, HeapVal, Inst, Instr, InstrSeq, Kind, Label, Mutability,
+    Reg, RegFileTy, RetMarker, SmallVal, StackTail, StackTy, TComp, TTy, Terminator, TyVar,
 };
 
 use crate::error::{TResult, TypeError};
@@ -46,7 +45,13 @@ impl TCtx {
         sigma: StackTy,
         q: RetMarker,
     ) -> Self {
-        TCtx { psi, delta, chi, sigma, q }
+        TCtx {
+            psi,
+            delta,
+            chi,
+            sigma,
+            q,
+        }
     }
 
     fn reg(&self, r: Reg) -> TResult<&TTy> {
@@ -192,15 +197,16 @@ pub fn check_instr(ctx: &TCtx, instr: &Instr) -> TResult<TCtx> {
                 TTy::Ref(ts) => ts.clone(),
                 TTy::Boxed(h) => match &**h {
                     HeapTy::Tuple(ts) => ts.clone(),
-                    other => {
-                        return Err(TypeError::wrong_form("a tuple pointer", other))
-                    }
+                    other => return Err(TypeError::wrong_form("a tuple pointer", other)),
                 },
                 other => return Err(TypeError::wrong_form("a tuple pointer", other)),
             };
             let ty = fields
                 .get(*idx)
-                .ok_or(TypeError::BadFieldIndex { idx: *idx, width: fields.len() })?
+                .ok_or(TypeError::BadFieldIndex {
+                    idx: *idx,
+                    width: fields.len(),
+                })?
                 .clone();
             ctx.guard_write(*rd, "ld destination")?;
             out.chi = ctx.chi.update(*rd, ty);
@@ -212,12 +218,16 @@ pub fn check_instr(ctx: &TCtx, instr: &Instr) -> TResult<TCtx> {
             let fields = match ctx.reg(*rd)? {
                 TTy::Ref(ts) => ts.clone(),
                 other => {
-                    return Err(TypeError::wrong_form("a mutable (ref) tuple pointer", other))
+                    return Err(TypeError::wrong_form(
+                        "a mutable (ref) tuple pointer",
+                        other,
+                    ))
                 }
             };
-            let want = fields
-                .get(*idx)
-                .ok_or(TypeError::BadFieldIndex { idx: *idx, width: fields.len() })?;
+            let want = fields.get(*idx).ok_or(TypeError::BadFieldIndex {
+                idx: *idx,
+                width: fields.len(),
+            })?;
             let have = ctx.reg(*rs)?;
             if !alpha_eq_tty(have, want) {
                 return Err(TypeError::mismatch("st field", want, have));
@@ -313,8 +323,7 @@ pub fn check_instr(ctx: &TCtx, instr: &Instr) -> TResult<TCtx> {
                 return Err(TypeError::wrong_form("an existential package", &t));
             };
             ctx.guard_write(*rd, "unpack destination")?;
-            let opened =
-                Subst::one(a.clone(), Inst::Ty(TTy::Var(tv.clone()))).tty(body);
+            let opened = Subst::one(a.clone(), Inst::Ty(TTy::Var(tv.clone()))).tty(body);
             out.delta = ctx.delta.extended(funtal_syntax::TyVarDecl::ty(tv.clone()));
             out.chi = ctx.chi.update(*rd, opened);
         }
@@ -406,7 +415,11 @@ pub fn check_terminator(ctx: &TCtx, term: &Terminator) -> TResult<()> {
             Ok(())
         }
         Terminator::Halt { ty, sigma, val } => {
-            let RetMarker::End { ty: want_ty, sigma: want_sigma } = &ctx.q else {
+            let RetMarker::End {
+                ty: want_ty,
+                sigma: want_sigma,
+            } = &ctx.q
+            else {
                 return Err(TypeError::BadMarker {
                     found: ctx.q.clone(),
                     need: "halt requires the end{τ;σ} marker",
@@ -416,10 +429,18 @@ pub fn check_terminator(ctx: &TCtx, term: &Terminator) -> TResult<()> {
                 return Err(TypeError::mismatch("halt type", want_ty, ty));
             }
             if !alpha_eq_stack(sigma, want_sigma) {
-                return Err(TypeError::mismatch("halt stack annotation", want_sigma, sigma));
+                return Err(TypeError::mismatch(
+                    "halt stack annotation",
+                    want_sigma,
+                    sigma,
+                ));
             }
             if !alpha_eq_stack(&ctx.sigma, want_sigma) {
-                return Err(TypeError::mismatch("halt-time stack", want_sigma, &ctx.sigma));
+                return Err(TypeError::mismatch(
+                    "halt-time stack",
+                    want_sigma,
+                    &ctx.sigma,
+                ));
             }
             let have = ctx.reg(*val)?;
             if !alpha_eq_tty(have, ty) {
@@ -427,20 +448,17 @@ pub fn check_terminator(ctx: &TCtx, term: &Terminator) -> TResult<()> {
             }
             Ok(())
         }
-        Terminator::Call { target, sigma: sigma0, q: qarg } => {
-            check_call(ctx, target, sigma0, qarg)
-        }
+        Terminator::Call {
+            target,
+            sigma: sigma0,
+            q: qarg,
+        } => check_call(ctx, target, sigma0, qarg),
     }
 }
 
 /// The two `call` rules of Fig 2 (merged: the halting case and the
 /// stack-marker case differ only in how the new marker is computed).
-fn check_call(
-    ctx: &TCtx,
-    target: &SmallVal,
-    sigma0: &StackTy,
-    qarg: &RetMarker,
-) -> TResult<()> {
+fn check_call(ctx: &TCtx, target: &SmallVal, sigma0: &StackTy, qarg: &RetMarker) -> TResult<()> {
     let t = type_of_small(&ctx.psi, &ctx.delta, &ctx.chi, target)?;
     let code = t
         .as_code()
@@ -449,9 +467,7 @@ fn check_call(
     // The callee must abstract exactly its stack tail and return marker:
     // ∀[ζ: stk, ε: ret].
     let (zeta, eps) = match code.delta.as_slice() {
-        [z, e] if z.kind == Kind::Stack && e.kind == Kind::Ret => {
-            (z.var.clone(), e.var.clone())
-        }
+        [z, e] if z.kind == Kind::Stack && e.kind == Kind::Ret => (z.var.clone(), e.var.clone()),
         _ => {
             return Err(TypeError::wrong_form(
                 "a callee of type ∀[ζ: stk, ε: ret].{χ;σ}q",
@@ -471,10 +487,13 @@ fn check_call(
 
     // σ = τ̄ :: σ0: the current stack splits into the callee's exposed
     // prefix and the protected tail declared by the instruction.
-    let (front, rest) = ctx.sigma.split(pre.len()).ok_or_else(|| TypeError::StackShape {
-        need: format!("{} exposed slots matching the callee", pre.len()),
-        found: ctx.sigma.clone(),
-    })?;
+    let (front, rest) = ctx
+        .sigma
+        .split(pre.len())
+        .ok_or_else(|| TypeError::StackShape {
+            need: format!("{} exposed slots matching the callee", pre.len()),
+            found: ctx.sigma.clone(),
+        })?;
     for (have, want) in front.iter().zip(pre) {
         if !alpha_eq_tty(have, want) {
             return Err(TypeError::mismatch("call argument slot", want, have));
@@ -536,7 +555,11 @@ fn check_call(
     let qnew = match &ctx.q {
         RetMarker::End { .. } => {
             if !alpha_eq_ret(qarg, &ctx.q) {
-                return Err(TypeError::mismatch("call marker (halting case)", &ctx.q, qarg));
+                return Err(TypeError::mismatch(
+                    "call marker (halting case)",
+                    &ctx.q,
+                    qarg,
+                ));
             }
             qarg.clone()
         }
@@ -552,7 +575,11 @@ fn check_call(
             }
             let expect = RetMarker::Stack(i + pre_out.len() - front.len());
             if !alpha_eq_ret(qarg, &expect) {
-                return Err(TypeError::mismatch("call marker (stack case)", &expect, qarg));
+                return Err(TypeError::mismatch(
+                    "call marker (stack case)",
+                    &expect,
+                    qarg,
+                ));
             }
             expect
         }
@@ -576,8 +603,7 @@ fn check_call(
     let sigma_inst = theta.stack(&code.sigma);
     wf_chi(&ctx.delta, &chi_inst).map_err(|e| e.at("call: instantiated χ̂"))?;
     wf_stack(&ctx.delta, &sigma_inst).map_err(|e| e.at("call: instantiated σ̂"))?;
-    wf_stack(&ctx.delta, &theta.stack(&cont.sigma))
-        .map_err(|e| e.at("call: instantiated σ̂'"))?;
+    wf_stack(&ctx.delta, &theta.stack(&cont.sigma)).map_err(|e| e.at("call: instantiated σ̂'"))?;
     chi_subtype(&ctx.chi, &chi_inst)?;
     if !alpha_eq_stack(&sigma_inst, &ctx.sigma) {
         return Err(TypeError::mismatch("call stack", &sigma_inst, &ctx.sigma));
@@ -623,8 +649,7 @@ pub fn infer_heap_typing(
     require_box: bool,
 ) -> TResult<HeapTyping> {
     let mut out = HeapTyping::new();
-    let mut pending: BTreeMap<Label, (Mutability, Vec<funtal_syntax::WordVal>)> =
-        BTreeMap::new();
+    let mut pending: BTreeMap<Label, (Mutability, Vec<funtal_syntax::WordVal>)> = BTreeMap::new();
     for (l, hv) in heap {
         match hv {
             HeapVal::Code(b) => {
@@ -725,7 +750,10 @@ pub fn check_component_with(
         }
     }
     let result = ret_type(&ctx.q, &ctx.chi, &ctx.sigma)?;
-    let main_ctx = TCtx { psi: psi_full, ..ctx.clone() };
+    let main_ctx = TCtx {
+        psi: psi_full,
+        ..ctx.clone()
+    };
     check_seq_with(main_ctx, &comp.seq, ext)?;
     Ok(result)
 }

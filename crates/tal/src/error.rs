@@ -111,7 +111,10 @@ pub enum TypeError {
 impl TypeError {
     /// Wraps the error with a breadcrumb describing where it happened.
     pub fn at(self, loc: impl fmt::Display) -> TypeError {
-        TypeError::Context { at: loc.to_string(), cause: Box::new(self) }
+        TypeError::Context {
+            at: loc.to_string(),
+            cause: Box::new(self),
+        }
     }
 
     /// Convenience constructor for [`TypeError::Mismatch`].
@@ -129,7 +132,10 @@ impl TypeError {
 
     /// Convenience constructor for [`TypeError::WrongForm`].
     pub fn wrong_form(expected: &'static str, found: &impl fmt::Display) -> TypeError {
-        TypeError::WrongForm { expected, found: found.to_string() }
+        TypeError::WrongForm {
+            expected,
+            found: found.to_string(),
+        }
     }
 
     /// The innermost (unwrapped) error.
@@ -148,7 +154,11 @@ impl fmt::Display for TypeError {
             TypeError::UnboundReg(r) => write!(f, "register {r} has no type in chi"),
             TypeError::UnboundLabel(l) => write!(f, "label {l} is not in the heap typing"),
             TypeError::UnboundVar(x) => write!(f, "unbound variable {x}"),
-            TypeError::Mismatch { expected, found, what } => {
+            TypeError::Mismatch {
+                expected,
+                found,
+                what,
+            } => {
                 write!(f, "{what}: expected {expected}, found {found}")
             }
             TypeError::WrongForm { expected, found } => {
@@ -158,7 +168,10 @@ impl fmt::Display for TypeError {
                 write!(f, "register file subtyping failed at {reg}: {detail}")
             }
             TypeError::BadStackIndex { idx, visible } => {
-                write!(f, "stack slot {idx} is not visible ({visible} visible slots)")
+                write!(
+                    f,
+                    "stack slot {idx} is not visible ({visible} visible slots)"
+                )
             }
             TypeError::BadFieldIndex { idx, width } => {
                 write!(f, "field {idx} out of range for a {width}-tuple")
@@ -175,8 +188,15 @@ impl fmt::Display for TypeError {
             TypeError::NoRetType(q) => {
                 write!(f, "ret-type is undefined for marker {q}")
             }
-            TypeError::JumpMismatch { what, expected, found } => {
-                write!(f, "jump precondition {what}: target expects {expected}, have {found}")
+            TypeError::JumpMismatch {
+                what,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "jump precondition {what}: target expects {expected}, have {found}"
+                )
             }
             TypeError::BadInstantiation(s) => write!(f, "bad type instantiation: {s}"),
             TypeError::MultiLanguage(what) => {
@@ -263,13 +283,13 @@ impl fmt::Display for RuntimeError {
                 write!(f, "store to immutable tuple at {l}")
             }
             RuntimeError::BadInstantiation { expected, provided } => {
-                write!(
-                    f,
-                    "block expects {expected} instantiations, got {provided}"
-                )
+                write!(f, "block expects {expected} instantiations, got {provided}")
             }
             RuntimeError::MultiLanguage(what) => {
-                write!(f, "multi-language form `{what}` not supported by the pure T machine")
+                write!(
+                    f,
+                    "multi-language form `{what}` not supported by the pure T machine"
+                )
             }
             RuntimeError::GuardViolation(s) => write!(f, "type-safety guard: {s}"),
             RuntimeError::Stuck(s) => write!(f, "machine stuck: {s}"),

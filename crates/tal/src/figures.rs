@@ -38,7 +38,10 @@ pub fn fig3_call_to_call() -> TComp {
             vec![
                 salloc(1),
                 sst(0, ra()),
-                mv(ra(), loc_i("l2ret", vec![i_stk(zvar("z")), i_ret(q_var("e"))])),
+                mv(
+                    ra(),
+                    loc_i("l2ret", vec![i_stk(zvar("z")), i_ret(q_var("e"))]),
+                ),
             ],
             call(
                 loc("l2"),

@@ -12,8 +12,8 @@ use std::collections::BTreeMap;
 use funtal_syntax::rename::{rename_heap_val, rename_seq};
 use funtal_syntax::subst::Subst;
 use funtal_syntax::{
-    HeapFrag, HeapVal, Inst, Instr, InstrSeq, Label, Mutability, Reg, SmallVal, TComp,
-    Terminator, WordVal,
+    HeapFrag, HeapVal, Inst, Instr, InstrSeq, Label, Mutability, Reg, SmallVal, TComp, Terminator,
+    WordVal,
 };
 
 use crate::error::{RResult, RuntimeError};
@@ -50,7 +50,10 @@ impl Stack {
     /// Pops the top `n` words, top first.
     pub fn pop_n(&mut self, n: usize) -> RResult<Vec<WordVal>> {
         if self.0.len() < n {
-            return Err(RuntimeError::StackUnderflow { need: n, have: self.0.len() });
+            return Err(RuntimeError::StackUnderflow {
+                need: n,
+                have: self.0.len(),
+            });
         }
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
@@ -106,7 +109,10 @@ impl Memory {
 
     /// A memory with an initial global heap.
     pub fn with_heap(heap: impl IntoIterator<Item = (Label, HeapVal)>) -> Self {
-        Memory { heap: heap.into_iter().collect(), ..Self::default() }
+        Memory {
+            heap: heap.into_iter().collect(),
+            ..Self::default()
+        }
     }
 
     /// Reads a register.
@@ -121,7 +127,9 @@ impl Memory {
 
     /// Looks up a heap value.
     pub fn heap_get(&self, l: &Label) -> RResult<&HeapVal> {
-        self.heap.get(l).ok_or_else(|| RuntimeError::UnboundLabel(l.clone()))
+        self.heap
+            .get(l)
+            .ok_or_else(|| RuntimeError::UnboundLabel(l.clone()))
     }
 
     /// Allocates a fresh label. Generated names contain `$`, which the
@@ -192,9 +200,7 @@ pub fn eval_small(mem: &Memory, u: &SmallVal) -> RResult<WordVal> {
             ann: ann.clone(),
             body: Box::new(eval_small(mem, body)?),
         }),
-        SmallVal::Inst { body, args } => {
-            Ok(eval_small(mem, body)?.instantiate(args.clone()))
-        }
+        SmallVal::Inst { body, args } => Ok(eval_small(mem, body)?.instantiate(args.clone())),
     }
 }
 
@@ -275,7 +281,12 @@ pub fn enter_block_opts(
                 .zip(insts)
                 .map(|(d, i)| (d.var.clone(), i.clone())),
         );
-        guard_block_entry(mem, label, &subst.chi(&block.chi), &subst.stack(&block.sigma))?;
+        guard_block_entry(
+            mem,
+            label,
+            &subst.chi(&block.chi),
+            &subst.stack(&block.sigma),
+        )?;
     }
     Ok(block.body.clone())
 }

@@ -1,11 +1,9 @@
 //! Typing of word values (`Ψ; ∆ ⊢ w : τ`) and small values
 //! (`Ψ; ∆; χ ⊢ u : τ`), plus register-file subtyping `∆ ⊢ χ ≤ χ'`.
 
-use funtal_syntax::alpha::{alpha_eq_tty, alpha_eq_code_ty};
+use funtal_syntax::alpha::{alpha_eq_code_ty, alpha_eq_tty};
 use funtal_syntax::subst::Subst;
-use funtal_syntax::{
-    CodeTy, HeapTy, HeapTyping, Inst, RegFileTy, SmallVal, TTy, WordVal,
-};
+use funtal_syntax::{CodeTy, HeapTy, HeapTyping, Inst, RegFileTy, SmallVal, TTy, WordVal};
 
 use crate::error::{TResult, TypeError};
 use crate::wf::{apply_insts, wf_tty, Delta};
@@ -21,9 +19,7 @@ pub fn type_of_word(psi: &HeapTyping, delta: &Delta, w: &WordVal) -> TResult<TTy
         WordVal::Pack { hidden, body, ann } => {
             check_pack(psi, delta, hidden, ann, &type_of_word(psi, delta, body)?)
         }
-        WordVal::Fold { ann, body } => {
-            check_fold(delta, ann, &type_of_word(psi, delta, body)?)
-        }
+        WordVal::Fold { ann, body } => check_fold(delta, ann, &type_of_word(psi, delta, body)?),
         WordVal::Inst { body, args } => {
             instantiate_code(delta, &type_of_word(psi, delta, body)?, args)
         }
@@ -38,14 +34,15 @@ pub fn type_of_small(
     u: &SmallVal,
 ) -> TResult<TTy> {
     match u {
-        SmallVal::Reg(r) => chi
-            .get(*r)
-            .cloned()
-            .ok_or(TypeError::UnboundReg(*r)),
+        SmallVal::Reg(r) => chi.get(*r).cloned().ok_or(TypeError::UnboundReg(*r)),
         SmallVal::Word(w) => type_of_word(psi, delta, w),
-        SmallVal::Pack { hidden, body, ann } => {
-            check_pack(psi, delta, hidden, ann, &type_of_small(psi, delta, chi, body)?)
-        }
+        SmallVal::Pack { hidden, body, ann } => check_pack(
+            psi,
+            delta,
+            hidden,
+            ann,
+            &type_of_small(psi, delta, chi, body)?,
+        ),
         SmallVal::Fold { ann, body } => {
             check_fold(delta, ann, &type_of_small(psi, delta, chi, body)?)
         }
@@ -97,7 +94,10 @@ fn check_fold(delta: &Delta, ann: &TTy, body_ty: &TTy) -> TResult<TTy> {
 /// instantiated code type.
 fn instantiate_code(delta: &Delta, body_ty: &TTy, args: &[Inst]) -> TResult<TTy> {
     let Some(code) = body_ty.as_code() else {
-        return Err(TypeError::wrong_form("a code pointer to instantiate", body_ty));
+        return Err(TypeError::wrong_form(
+            "a code pointer to instantiate",
+            body_ty,
+        ));
     };
     let (subst, rest) = apply_insts(delta, &code.delta, args)?;
     let inner = CodeTy {
@@ -153,8 +153,8 @@ pub fn code_ty_eq(a: &CodeTy, b: &CodeTy) -> bool {
 mod tests {
     use super::*;
     use funtal_syntax::build::*;
-    use funtal_syntax::Label;
     use funtal_syntax::ty::Mutability;
+    use funtal_syntax::Label;
 
     fn psi_with_tuple() -> HeapTyping {
         let mut psi = HeapTyping::new();
@@ -170,8 +170,14 @@ mod tests {
     fn literals() {
         let psi = HeapTyping::new();
         let d = Delta::new();
-        assert_eq!(type_of_word(&psi, &d, &funtal_syntax::WordVal::Int(3)), Ok(int()));
-        assert_eq!(type_of_word(&psi, &d, &funtal_syntax::WordVal::Unit), Ok(unit()));
+        assert_eq!(
+            type_of_word(&psi, &d, &funtal_syntax::WordVal::Int(3)),
+            Ok(int())
+        );
+        assert_eq!(
+            type_of_word(&psi, &d, &funtal_syntax::WordVal::Unit),
+            Ok(unit())
+        );
     }
 
     #[test]

@@ -117,19 +117,15 @@ pub fn wf_code_ty(delta: &Delta, c: &CodeTy) -> TResult<()> {
     wf_stack(&inner, &c.sigma)?;
     wf_ret(&inner, &c.q)?;
     match &c.q {
-        RetMarker::Reg(r) => {
-            if c.chi.get(*r).is_none() {
-                return Err(TypeError::UnboundReg(*r).at("code type return marker"));
-            }
+        RetMarker::Reg(r) if c.chi.get(*r).is_none() => {
+            return Err(TypeError::UnboundReg(*r).at("code type return marker"));
         }
-        RetMarker::Stack(i) => {
-            if c.sigma.get(*i).is_none() {
-                return Err(TypeError::BadStackIndex {
-                    idx: *i,
-                    visible: c.sigma.visible_len(),
-                }
-                .at("code type return marker"));
+        RetMarker::Stack(i) if c.sigma.get(*i).is_none() => {
+            return Err(TypeError::BadStackIndex {
+                idx: *i,
+                visible: c.sigma.visible_len(),
             }
+            .at("code type return marker"));
         }
         _ => {}
     }
@@ -201,7 +197,12 @@ pub fn wf_fty(delta: &Delta, t: &FTy) -> TResult<()> {
             }
         }
         FTy::Unit | FTy::Int => Ok(()),
-        FTy::Arrow { params, phi_in, phi_out, ret } => {
+        FTy::Arrow {
+            params,
+            phi_in,
+            phi_out,
+            ret,
+        } => {
             params.iter().try_for_each(|t| wf_fty(delta, t))?;
             phi_in.iter().try_for_each(|t| wf_tty(delta, t))?;
             phi_out.iter().try_for_each(|t| wf_tty(delta, t))?;
@@ -291,7 +292,10 @@ mod tests {
         };
         assert!(wf_code_ty(&d, &ok).is_ok());
         // Marker names an absent register: error.
-        let bad = CodeTy { chi: chi([]), ..ok.clone() };
+        let bad = CodeTy {
+            chi: chi([]),
+            ..ok.clone()
+        };
         assert!(wf_code_ty(&d, &bad).is_err());
         // Stack marker beyond the visible prefix: error.
         let bad2 = CodeTy {

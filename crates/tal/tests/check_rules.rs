@@ -56,8 +56,14 @@ fn sec3_jmp_example() {
     );
     let mut psi = HeapTyping::new();
     // Give ℓ its code type by placing it in Ψ as a boxed code heap type.
-    let funtal_syntax::TTy::Boxed(h) = l_ty.clone() else { unreachable!() };
-    psi.insert(funtal_syntax::Label::new("l"), funtal_syntax::Mutability::Boxed, *h);
+    let funtal_syntax::TTy::Boxed(h) = l_ty.clone() else {
+        unreachable!()
+    };
+    psi.insert(
+        funtal_syntax::Label::new("l"),
+        funtal_syntax::Mutability::Boxed,
+        *h,
+    );
 
     let c = TCtx::new(
         psi,
@@ -69,11 +75,17 @@ fn sec3_jmp_example() {
     assert!(check_terminator(&c, &jmp(loc("l"))).is_ok());
 
     // With a different stack, the jump fails.
-    let c_bad = TCtx { sigma: nil(), ..c.clone() };
+    let c_bad = TCtx {
+        sigma: nil(),
+        ..c.clone()
+    };
     assert!(check_terminator(&c_bad, &jmp(loc("l"))).is_err());
 
     // With a different marker, the jump fails.
-    let c_bad2 = TCtx { q: q_end(int(), nil()), ..c };
+    let c_bad2 = TCtx {
+        q: q_end(int(), nil()),
+        ..c
+    };
     assert!(check_terminator(&c_bad2, &jmp(loc("l"))).is_err());
 }
 
@@ -89,8 +101,14 @@ fn sec3_call_example() {
         q_reg(ra()),
     );
     let mut psi = HeapTyping::new();
-    let funtal_syntax::TTy::Boxed(h) = callee_ty else { unreachable!() };
-    psi.insert(funtal_syntax::Label::new("l"), funtal_syntax::Mutability::Boxed, *h);
+    let funtal_syntax::TTy::Boxed(h) = callee_ty else {
+        unreachable!()
+    };
+    psi.insert(
+        funtal_syntax::Label::new("l"),
+        funtal_syntax::Mutability::Boxed,
+        *h,
+    );
 
     // Caller: r1: int, ra: box∀[].{r1:int; int::•}end{int;•};
     // stack unit :: int :: •.
@@ -122,22 +140,14 @@ fn sec3_call_example() {
 
 #[test]
 fn mv_cannot_clobber_marker_register() {
-    let c = ctx(
-        vec![(ra(), cont(nil(), end_int()))],
-        nil(),
-        q_reg(ra()),
-    );
+    let c = ctx(vec![(ra(), cont(nil(), end_int()))], nil(), q_reg(ra()));
     let err = check_instr(&c, &mv(ra(), int_v(1))).unwrap_err();
     assert!(matches!(err.root(), TypeError::ClobbersMarker(_)), "{err}");
 }
 
 #[test]
 fn mv_of_marker_moves_marker() {
-    let c = ctx(
-        vec![(ra(), cont(nil(), end_int()))],
-        nil(),
-        q_reg(ra()),
-    );
+    let c = ctx(vec![(ra(), cont(nil(), end_int()))], nil(), q_reg(ra()));
     let c2 = check_instr(&c, &mv(r2(), reg(ra()))).unwrap();
     assert_eq!(c2.q, q_reg(r2()));
     assert_eq!(c2.chi.get(r2()), c.chi.get(ra()));
@@ -168,11 +178,7 @@ fn sst_cannot_overwrite_marker_slot() {
 
 #[test]
 fn sld_of_marker_slot_moves_marker() {
-    let c = ctx(
-        vec![],
-        stack(vec![cont(nil(), end_int())], nil()),
-        q_i(0),
-    );
+    let c = ctx(vec![], stack(vec![cont(nil(), end_int())], nil()), q_i(0));
     let c2 = check_instr(&c, &sld(ra(), 0)).unwrap();
     assert_eq!(c2.q, q_reg(ra()));
 }
@@ -200,11 +206,7 @@ fn sfree_cannot_free_marker_slot() {
 
 #[test]
 fn salloc_shifts_stack_marker() {
-    let c = ctx(
-        vec![],
-        stack(vec![cont(nil(), end_int())], nil()),
-        q_i(0),
-    );
+    let c = ctx(vec![], stack(vec![cont(nil(), end_int())], nil()), q_i(0));
     let c2 = check_instr(&c, &salloc(2)).unwrap();
     assert_eq!(c2.q, q_i(2));
     assert_eq!(c2.sigma.visible_len(), 3);
@@ -283,11 +285,7 @@ fn st_requires_ref_and_matching_type() {
 
 #[test]
 fn alloc_from_stack() {
-    let c = ctx(
-        vec![],
-        stack(vec![int(), unit()], nil()),
-        end_int(),
-    );
+    let c = ctx(vec![], stack(vec![int(), unit()], nil()), end_int());
     let c2 = check_instr(&c, &ralloc(r1(), 2)).unwrap();
     assert_eq!(c2.chi.get(r1()), Some(&ref_tuple(vec![int(), unit()])));
     assert_eq!(c2.sigma, nil());
@@ -343,9 +341,7 @@ fn halt_checks_everything() {
     // wrong value type
     assert!(check_terminator(&c, &halt(unit(), nil(), r1())).is_err());
     // wrong stack annotation
-    assert!(
-        check_terminator(&c, &halt(int(), stack(vec![int()], nil()), r1())).is_err()
-    );
+    assert!(check_terminator(&c, &halt(int(), stack(vec![int()], nil()), r1())).is_err());
     // marker not end
     let c2 = ctx(
         vec![(r1(), int()), (ra(), cont(nil(), end_int()))],
@@ -364,12 +360,18 @@ fn ret_requires_marker_register() {
     );
     assert!(check_terminator(&c, &ret(ra(), r1())).is_ok());
     // Returning through a register that is not the marker fails.
-    let c2 = TCtx { q: q_end(int(), nil()), ..c.clone() };
+    let c2 = TCtx {
+        q: q_end(int(), nil()),
+        ..c.clone()
+    };
     assert!(check_terminator(&c2, &ret(ra(), r1())).is_err());
     // Wrong result register (continuation expects r1).
     assert!(check_terminator(&c, &ret(ra(), r2())).is_err());
     // Stack mismatch with the continuation's expectation.
-    let c3 = TCtx { sigma: stack(vec![int()], nil()), ..c };
+    let c3 = TCtx {
+        sigma: stack(vec![int()], nil()),
+        ..c
+    };
     assert!(check_terminator(&c3, &ret(ra(), r1())).is_err());
 }
 
@@ -384,8 +386,14 @@ fn call_rejects_register_marker() {
         q_reg(ra()),
     );
     let mut psi = HeapTyping::new();
-    let funtal_syntax::TTy::Boxed(h) = callee_ty else { unreachable!() };
-    psi.insert(funtal_syntax::Label::new("l"), funtal_syntax::Mutability::Boxed, *h);
+    let funtal_syntax::TTy::Boxed(h) = callee_ty else {
+        unreachable!()
+    };
+    psi.insert(
+        funtal_syntax::Label::new("l"),
+        funtal_syntax::Mutability::Boxed,
+        *h,
+    );
     let c = TCtx::new(
         psi,
         Delta::new(),
@@ -447,13 +455,7 @@ fn simple_sequence_checks() {
 fn import_rejected_in_pure_t() {
     let c = ctx(vec![], nil(), end_int());
     let s = seq(
-        vec![import(
-            r1(),
-            "z",
-            nil(),
-            fint(),
-            fint_e(1),
-        )],
+        vec![import(r1(), "z", nil(), fint(), fint_e(1))],
         halt(int(), nil(), r1()),
     );
     let err = check_seq(c, &s).unwrap_err();

@@ -27,11 +27,23 @@ fn fig4_trace_matches_paper() {
     run_program(&fig3_call_to_call(), 1_000, &mut tr).unwrap();
     let transfers: Vec<&Event> = tr.transfers();
     let expect = [
-        Event::Call { to: Label::new("l1") },
-        Event::Call { to: Label::new("l2") },
-        Event::Jmp { to: Label::new("l2aux") },
-        Event::Ret { to: Label::new("l2ret"), val: r1() },
-        Event::Ret { to: Label::new("l1ret"), val: r1() },
+        Event::Call {
+            to: Label::new("l1"),
+        },
+        Event::Call {
+            to: Label::new("l2"),
+        },
+        Event::Jmp {
+            to: Label::new("l2aux"),
+        },
+        Event::Ret {
+            to: Label::new("l2ret"),
+            val: r1(),
+        },
+        Event::Ret {
+            to: Label::new("l1ret"),
+            val: r1(),
+        },
         Event::Halt { reg: r1() },
     ];
     assert_eq!(transfers.len(), expect.len(), "trace: {transfers:?}");
@@ -114,7 +126,10 @@ fn machine_rejects_store_to_boxed() {
         vec![],
     );
     let err = run_program(&prog, 100, &mut NullTracer).unwrap_err();
-    assert!(matches!(err, funtal_tal::RuntimeError::ImmutableStore(_)), "{err}");
+    assert!(
+        matches!(err, funtal_tal::RuntimeError::ImmutableStore(_)),
+        "{err}"
+    );
 }
 
 #[test]

@@ -1,41 +1,31 @@
 //! Figure 3 / Figure 4: the paper's "Call to Call" T example, executed
-//! with a control-flow trace that reproduces the Figure 4 diagram.
+//! through the pipeline with a control-flow trace that reproduces the
+//! Figure 4 diagram.
 //!
 //! ```sh
 //! cargo run --example call_to_call
 //! ```
 
-use funtal_tal::check::check_program;
+use funtal_driver::{FunTalError, Pipeline};
+use funtal_syntax::build::fint;
+use funtal_syntax::Component;
 use funtal_tal::figures::fig3_call_to_call;
-use funtal_tal::machine::{run_program, Outcome};
-use funtal_tal::trace::{Event, VecTracer};
-use funtal_syntax::build::int;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), FunTalError> {
     let prog = fig3_call_to_call();
     println!("Figure 3, component f:\n  {prog}\n");
 
-    check_program(&prog, &int())?;
+    let report = Pipeline::new()
+        .with_fuel(1_000)
+        .trace_component(&Component::T(prog), Some(&fint()))?;
     println!("type-checks as a whole program halting with int\n");
 
-    let mut tr = VecTracer::new();
-    let out = run_program(&prog, 1_000, &mut tr)?;
-
     println!("control flow (Figure 4):");
-    println!("  f");
-    for ev in tr.transfers() {
-        match ev {
-            Event::Call { to } => println!("  --call--> {to}"),
-            Event::Jmp { to } => println!("  --jmp---> {to}"),
-            Event::BnzTaken { to } => println!("  --bnz---> {to}"),
-            Event::Ret { to, val } => println!("  --ret---> {to}   (result in {val})"),
-            Event::Halt { reg } => println!("  --halt    ({reg})"),
-            _ => {}
-        }
-    }
-    match out {
-        Outcome::Halted(v) => println!("\nhalted with {v}"),
-        Outcome::OutOfFuel => println!("\nout of fuel"),
+    print!("{}", report.render());
+
+    match &report.outcome {
+        funtal::machine::FtOutcome::Halted(v) => println!("\nhalted with {v}"),
+        other => println!("\nunexpected outcome: {other:?}"),
     }
     Ok(())
 }

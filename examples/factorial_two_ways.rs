@@ -1,59 +1,52 @@
 //! Figure 17: the functional factorial `factF` and the imperative
-//! `factT`, run side by side, step-counted, and checked equivalent with
-//! the bounded logical relation.
+//! `factT`, run side by side through the pipeline, step-counted, and
+//! checked equivalent with the bounded logical relation.
 //!
 //! ```sh
 //! cargo run --example factorial_two_ways
 //! ```
 
 use funtal::figures::{fig17_fact_f, fig17_fact_t};
-use funtal::machine::{run_fexpr, RunCfg};
-use funtal::typecheck;
-use funtal_equiv::{equivalent, EquivCfg};
+use funtal_driver::{FunTalError, Pipeline};
+use funtal_equiv::EquivCfg;
 use funtal_syntax::build::*;
-use funtal_tal::trace::CountTracer;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), FunTalError> {
+    let pipeline = Pipeline::new()
+        .with_fuel(1_000_000)
+        .with_equiv_cfg(EquivCfg {
+            fuel: 4_000,
+            samples: 10,
+            depth: 2,
+            seed: 42,
+        });
+
     let ff = fig17_fact_f();
     let ft = fig17_fact_t();
-    println!("factF : {}", typecheck(&ff)?);
-    println!("factT : {}", typecheck(&ft)?);
+    println!("factF : {}", pipeline.check(&ff)?);
+    println!("factT : {}", pipeline.check(&ft)?);
 
-    println!("\n n | factF | factT | F-steps (F) | steps (T)");
-    println!("---+-------+-------+-------------+----------");
+    println!("\n n | factF | factT | steps (F) | steps (T)");
+    println!("---+-------+-------+-----------+----------");
     for n in 0..=8 {
-        let mut cf = CountTracer::new();
-        let mut ct = CountTracer::new();
-        let vf = run_fexpr(
-            &app(ff.clone(), vec![fint_e(n)]),
-            RunCfg::with_fuel(1_000_000),
-            &mut cf,
-        )?;
-        let vt = run_fexpr(
-            &app(ft.clone(), vec![fint_e(n)]),
-            RunCfg::with_fuel(1_000_000),
-            &mut ct,
-        )?;
-        let show = |o: &funtal::machine::FtOutcome| match o {
-            funtal::machine::FtOutcome::Value(v) => v.to_string(),
-            _ => "-".to_string(),
+        let rf = pipeline.run(&app(ff.clone(), vec![fint_e(n)]))?;
+        let rt = pipeline.run(&app(ft.clone(), vec![fint_e(n)]))?;
+        let show = |r: &funtal_driver::RunReport| {
+            r.value()
+                .map(|v| v.to_string())
+                .unwrap_or_else(|_| "-".to_string())
         };
         println!(
-            "{n:2} | {:>5} | {:>5} | {:>11} | {:>8}",
-            show(&vf),
-            show(&vt),
-            cf.total_steps(),
-            ct.total_steps()
+            "{n:2} | {:>5} | {:>5} | {:>9} | {:>8}",
+            show(&rf),
+            show(&rt),
+            rf.counts.total_steps(),
+            rt.counts.total_steps()
         );
     }
 
     println!("\nchecking factF ≈ factT with the bounded logical relation …");
-    let verdict = equivalent(
-        &ff,
-        &ft,
-        &arrow(vec![fint()], fint()),
-        &EquivCfg { fuel: 4_000, samples: 10, depth: 2, seed: 42 },
-    );
-    println!("verdict: {verdict}");
+    let (ty, verdict) = pipeline.equiv(&ff, &ft)?;
+    println!("at type {ty}: {verdict}");
     Ok(())
 }

@@ -1,46 +1,26 @@
 //! Figure 11 / Figure 12: the JIT example — compiled assembly calling
-//! back into interpreted F code, with the boundary-crossing trace.
+//! back into interpreted F code, with the boundary-crossing trace
+//! rendered by the pipeline's trace stage.
 //!
 //! ```sh
 //! cargo run --example jit_callback
 //! ```
 
 use funtal::figures::fig11_jit;
-use funtal::machine::{run_fexpr, FtOutcome, RunCfg};
-use funtal::typecheck;
-use funtal_tal::trace::{Event, VecTracer};
+use funtal::machine::FtOutcome;
+use funtal_driver::{FunTalError, Pipeline};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), FunTalError> {
     let e = fig11_jit();
     println!("Figure 11: e = (FT[...](mv r1, l; halt ..., H)) g\n");
-    println!("type: {}", typecheck(&e)?);
 
-    let mut tr = VecTracer::new();
-    let out = run_fexpr(&e, RunCfg::with_fuel(1_000_000), &mut tr)?;
+    let report = Pipeline::new().with_fuel(1_000_000).trace(&e)?;
+    println!("type: {}", report.ty);
 
     println!("\ncontrol flow (Figure 12):");
-    let mut depth = 1usize;
-    for ev in &tr.events {
-        match ev {
-            Event::BoundaryEnter { ty } => {
-                println!("{:indent$}FT[{ty}] {{", "", indent = depth * 2);
-                depth += 1;
-            }
-            Event::BoundaryExit { .. } => {
-                depth = depth.saturating_sub(1);
-                println!("{:indent$}}} -> F", "", indent = depth * 2);
-            }
-            Event::ImportExit { rd } => {
-                println!("{:indent$}import -> {rd}", "", indent = depth * 2)
-            }
-            Event::Call { to } => println!("{:indent$}call {to}", "", indent = depth * 2),
-            Event::Jmp { to } => println!("{:indent$}jmp {to}", "", indent = depth * 2),
-            Event::Ret { to, .. } => println!("{:indent$}ret {to}", "", indent = depth * 2),
-            Event::FBeta => println!("{:indent$}beta (F)", "", indent = depth * 2),
-            _ => {}
-        }
-    }
-    match out {
+    print!("{}", report.render());
+
+    match &report.outcome {
         FtOutcome::Value(v) => println!("\nresult: {v}"),
         other => println!("\nunexpected outcome: {other:?}"),
     }

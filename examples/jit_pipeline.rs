@@ -8,20 +8,33 @@
 
 use funtal_compile::codegen::CodegenOpts;
 use funtal_compile::jit::{Jit, Mode};
-use funtal_compile::lang::factorial_program;
+use funtal_driver::{minif::parse_minif, FunTalError};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let program = factorial_program();
+fn main() -> Result<(), FunTalError> {
+    // The same factorial the CLI compiles from examples/fact.mf, here
+    // parsed from MiniF concrete syntax and handed to the JIT runtime.
+    let program = parse_minif("fn fact(n) = if0 n { 1 } { fact(n - 1) * n }")?;
     println!("source: fact(n) = if0 n {{ 1 }} {{ fact(n - 1) * n }}");
-    println!("reference: fact(8) = {}\n", program.eval("fact", &[8], 100)?);
+    println!(
+        "reference: fact(8) = {}\n",
+        program.eval("fact", &[8], 100)?
+    );
 
-    let mut jit = Jit::new(program, 3, CodegenOpts { tail_call_opt: true });
+    let mut jit = Jit::new(
+        program,
+        3,
+        CodegenOpts {
+            tail_call_opt: true,
+        },
+    );
     println!("threshold: 3 invocations\n");
     println!("call | mode        | result | F steps | T instrs | crossings");
     println!("-----+-------------+--------+---------+----------+----------");
     for i in 1..=5 {
         let mode = jit.mode("fact");
-        let stats = jit.invoke("fact", &[8], 10_000_000).map_err(|e| e.to_string())?;
+        let stats = jit
+            .invoke("fact", &[8], 10_000_000)
+            .map_err(FunTalError::Driver)?;
         println!(
             "{i:4} | {:<11} | {:>6} | {:>7} | {:>8} | {:>9}",
             match mode {

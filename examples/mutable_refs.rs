@@ -5,11 +5,12 @@
 //! cargo run --example mutable_refs
 //! ```
 
-use funtal::machine::eval_to_value;
 use funtal::mutref::{cell_demo, free_cell, get_cell, new_cell, set_cell};
-use funtal::typecheck;
+use funtal_driver::{FunTalError, Pipeline};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), FunTalError> {
+    let pipeline = Pipeline::new().with_fuel(100_000);
+
     println!("the library (all stack-modifying lambdas):\n");
     for (name, f) in [
         ("new ", new_cell()),
@@ -17,14 +18,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("set ", set_cell()),
         ("free", free_cell()),
     ] {
-        println!("{name} : {}", typecheck(&f)?);
+        println!("{name} : {}", pipeline.check(&f)?);
     }
 
     let demo = cell_demo(10, 5);
     println!("\ndemo program (new 10; set(get() + 5); get(); free):");
     println!("  {demo}\n");
-    println!("type:  {}", typecheck(&demo)?);
-    println!("value: {}", eval_to_value(&demo, 100_000)?);
+    let report = pipeline.run(&demo)?;
+    println!("type:  {}", report.ty);
+    println!("value: {}", report.value()?);
 
     // The cell is invisible to the rest of the program: the whole
     // expression has type int on an empty stack.

@@ -1,16 +1,17 @@
 //! Quickstart: build a mixed F/T program three ways (builders, concrete
-//! syntax, compiler), type-check it, and run it.
+//! syntax, compiler) and push each through the unified
+//! [`funtal_driver::Pipeline`].
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use funtal::machine::eval_to_value;
-use funtal::typecheck;
-use funtal_parser::parse_fexpr;
+use funtal_driver::{FunTalError, Pipeline};
 use funtal_syntax::build::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), FunTalError> {
+    let pipeline = Pipeline::new().with_fuel(100_000);
+
     // 1. Builders: an F program with an embedded assembly component that
     //    squares its input.
     let square = lam_z(
@@ -50,35 +51,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     );
     let prog = app(square, vec![fint_e(12)]);
+    let report = pipeline.run(&prog)?;
     println!("program: {prog}");
-    println!("type:    {}", typecheck(&prog)?);
-    println!("value:   {}", eval_to_value(&prog, 100_000)?);
+    println!("type:    {}", report.ty);
+    println!("value:   {}", report.value()?);
 
-    // 2. The same thing in concrete syntax.
+    // 2. The same thing in concrete syntax, through the full
+    //    lex → parse → check → run pipeline.
     let src = "FT[int](mv r1, 6; mul r1, r1, 7; halt int, * {r1})";
-    let parsed = parse_fexpr(src)?;
+    let report = pipeline.run_source(src)?;
     println!("\nparsed `{src}`");
-    println!("type:    {}", typecheck(&parsed)?);
-    println!("value:   {}", eval_to_value(&parsed, 1_000)?);
+    println!("type:    {}", report.ty);
+    println!("value:   {}", report.value()?);
 
-    // 3. Compile a tiny first-order function to assembly and call it
-    //    from F.
-    use funtal_compile::codegen::{compile_program, CodegenOpts};
-    use funtal_compile::lang::{Def, MExpr, Program};
-    use funtal_syntax::ArithOp;
-    let p = Program::new([Def::new(
-        "poly",
-        &["x"],
-        MExpr::bin(
-            ArithOp::Add,
-            MExpr::bin(ArithOp::Mul, MExpr::v("x"), MExpr::v("x")),
-            MExpr::i(1),
-        ),
-    )])?;
-    let compiled = compile_program(&p, CodegenOpts::default());
-    let call = app(compiled.wrap("poly"), vec![fint_e(9)]);
-    println!("\ncompiled poly(x) = x*x + 1, {} blocks", compiled.block_count());
-    println!("type:    {}", typecheck(&call)?);
-    println!("value:   {}", eval_to_value(&call, 100_000)?);
+    // 3. Compile a tiny first-order function to assembly (the MiniF
+    //    stage) and call it from F.
+    let bundle = pipeline.compile_minif_source("fn poly(x) = x * x + 1")?;
+    println!(
+        "\ncompiled poly(x) = x*x + 1, {} blocks",
+        bundle.block_count()
+    );
+    let (_, _, ty) = &bundle.wrapped[0];
+    println!("type:    {ty}");
+    println!(
+        "value:   {}",
+        pipeline.run_compiled(&bundle, "poly", &[9])?.value()?
+    );
     Ok(())
 }

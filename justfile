@@ -1,0 +1,29 @@
+# Development entry points, mirroring .github/workflows/ci.yml.
+
+# Build every crate in release mode (the tier-1 build gate).
+build:
+    cargo build --release
+
+# Run the whole test suite (unit, integration, property, doc tests).
+test:
+    cargo test -q
+
+# Run the benchmark suite; `just bench-baseline` refreshes the
+# committed snapshot.
+bench:
+    cargo bench -p funtal-bench
+
+bench-baseline:
+    BENCH_OUTPUT={{justfile_directory()}}/BENCH_baseline.json cargo bench -p funtal-bench --bench compile
+
+# Formatting + clippy, exactly as CI enforces them.
+lint:
+    cargo fmt --all --check
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Apply formatting.
+fmt:
+    cargo fmt --all
+
+# Everything CI runs, locally.
+ci: build test lint bench

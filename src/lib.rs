@@ -10,10 +10,14 @@
 //! - [`funtal`] — the FT multi-language (§4–§5);
 //! - [`funtal_parser`] — concrete syntax;
 //! - [`funtal_equiv`] — the bounded logical relation (§5);
-//! - [`funtal_compile`] — the MiniF→T compiler and JIT runtime (§6).
+//! - [`funtal_compile`] — the MiniF→T compiler and JIT runtime (§6);
+//! - [`funtal_driver`] — the unified pipeline and the `funtal` CLI.
+
+#![warn(missing_docs)]
 
 pub use funtal;
 pub use funtal_compile;
+pub use funtal_driver;
 pub use funtal_equiv;
 pub use funtal_fun;
 pub use funtal_parser;

@@ -4,8 +4,9 @@
 
 use funtal::machine::{eval_to_value, run_fexpr, FtOutcome, RunCfg};
 use funtal::{typecheck, typecheck_component};
+use funtal_driver::{FunTalError, Pipeline};
 use funtal_fun::{eval as feval, type_of, FOutcome};
-use funtal_parser::{parse_fexpr, parse_tcomp};
+use funtal_parser::parse_tcomp;
 use funtal_syntax::build::*;
 use funtal_syntax::{Component, FExpr};
 use funtal_tal::trace::NullTracer;
@@ -85,7 +86,7 @@ fn ft_machine_agrees_with_pure_t_machine_on_fig3() {
     typecheck_component(&Component::T(prog), Some(&fint())).unwrap();
 }
 
-// --- parse → check → run pipeline ----------------------------------------------
+// --- parse → check → run through the driver pipeline ----------------------------
 
 #[test]
 fn parse_check_run_pipeline() {
@@ -98,9 +99,60 @@ fn parse_check_run_pipeline() {
                 add r1, r1, r1;
                 halt int, zp {r1}))
     ";
-    let e = parse_fexpr(src).unwrap();
-    assert_eq!(typecheck(&e).unwrap(), fint());
-    assert_eq!(eval_to_value(&e, 100_000).unwrap(), fint_e(40));
+    let report = Pipeline::new().with_fuel(100_000).run_source(src).unwrap();
+    assert_eq!(report.ty, fint());
+    assert_eq!(report.value().unwrap(), &fint_e(40));
+    // Step accounting is live: the doubler crosses the boundary twice
+    // and executes T instructions both times.
+    assert!(report.counts.crossings >= 2, "{:?}", report.counts);
+    assert!(report.counts.instrs > 0 && report.counts.f_steps > 0);
+}
+
+#[test]
+fn pipeline_agrees_with_direct_calls() {
+    // The pipeline is plumbing, not semantics: its answer must be
+    // byte-identical to calling the layers directly.
+    let src = "FT[int](mv r1, 6; mul r1, r1, 7; halt int, * {r1})";
+    let e = funtal_parser::parse_fexpr(src).unwrap();
+    let direct_ty = typecheck(&e).unwrap();
+    let direct_val = eval_to_value(&e, 1_000).unwrap();
+
+    let report = Pipeline::new().with_fuel(1_000).run_source(src).unwrap();
+    assert_eq!(report.ty, direct_ty);
+    assert_eq!(report.value().unwrap(), &direct_val);
+}
+
+#[test]
+fn pipeline_unified_errors_carry_spans_and_stages() {
+    let p = Pipeline::new();
+    // Parse errors keep their source position.
+    let err = p.run_source("lam[z](x: int). x +").unwrap_err();
+    assert_eq!(err.stage(), "parse");
+    let (line, col) = err.span().expect("parse errors have spans");
+    assert!(line >= 1 && col >= 1);
+    // Type errors come through the same enum.
+    let err = p.run_source("1 + ()").unwrap_err();
+    assert_eq!(err.stage(), "typecheck");
+    assert!(err.span().is_none());
+    // Fuel exhaustion is reported by the run stage, not silently.
+    let fact = funtal::figures::fig17_fact_f();
+    let spin = app(fact, vec![fint_e(25)]);
+    let report = Pipeline::new().with_fuel(10).run(&spin).unwrap();
+    assert!(matches!(
+        report.value().unwrap_err(),
+        FunTalError::OutOfFuel { fuel: 10 }
+    ));
+}
+
+#[test]
+fn pipeline_minif_stage_matches_reference_interpreter() {
+    let p = Pipeline::new().with_fuel(5_000_000);
+    let bundle = p
+        .compile_minif_source("fn fact(n) = if0 n { 1 } { fact(n - 1) * n }")
+        .unwrap();
+    let reference = bundle.program.eval("fact", &[6], 100).unwrap();
+    let compiled = p.run_compiled(&bundle, "fact", &[6]).unwrap();
+    assert_eq!(compiled.value().unwrap(), &fint_e(reference));
 }
 
 #[test]
@@ -114,7 +166,10 @@ fn parse_check_run_pure_t() {
     let comp = parse_tcomp(src).unwrap();
     funtal_tal::check::check_program(&comp, &int()).unwrap();
     let out = funtal_tal::machine::run_program(&comp, 100, &mut NullTracer).unwrap();
-    assert_eq!(out, funtal_tal::machine::Outcome::Halted(funtal_syntax::WordVal::Int(42)));
+    assert_eq!(
+        out,
+        funtal_tal::machine::Outcome::Halted(funtal_syntax::WordVal::Int(42))
+    );
 }
 
 // --- type-safety properties (E11) -----------------------------------------------
@@ -127,13 +182,11 @@ fn arb_int_expr(depth: u32) -> BoxedStrategy<FExpr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| fadd(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| fmul(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| fsub(a, b)),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, e)| if0(c, t, e)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| app(
-                    lam(vec![("x", fint()), ("y", fint())], fadd(var("x"), var("y"))),
-                    vec![a, b],
-                )),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| if0(c, t, e)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| app(
+                lam(vec![("x", fint()), ("y", fint())], fadd(var("x"), var("y"))),
+                vec![a, b],
+            )),
             inner
                 .clone()
                 .prop_map(|a| proj(1, ftuple(vec![a, funit_e()]))),
@@ -204,7 +257,10 @@ fn guard_catches_ill_typed_jump() {
         funtal_tal::machine::MachineOpts { guard: true },
     )
     .unwrap_err();
-    assert!(matches!(err, funtal_tal::RuntimeError::GuardViolation(_)), "{err}");
+    assert!(
+        matches!(err, funtal_tal::RuntimeError::GuardViolation(_)),
+        "{err}"
+    );
 }
 
 #[test]

@@ -1,0 +1,293 @@
+//! An offline, API-compatible subset of the `criterion` benchmark
+//! harness.
+//!
+//! The workspace's benches were written against the real `criterion`;
+//! the build image has no network access, so this shim implements the
+//! surface they use: `criterion_group!`/`criterion_main!`,
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`], and [`black_box`].
+//!
+//! Measurement is a fixed-budget wall-clock loop (a short warm-up, then
+//! timed batches until the budget elapses) reporting mean and median
+//! nanoseconds per iteration. Set `BENCH_OUTPUT=/path/to.json` to also
+//! write a machine-readable summary — `BENCH_baseline.json` at the repo
+//! root is produced this way. Statistical analysis, plots, and HTML
+//! reports of the real crate are out of scope.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub use std::hint::black_box;
+
+/// Identifies one benchmark: a function name plus an optional
+/// parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id from a bare parameter (unused name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            function: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId {
+            function: name,
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => write!(f, "{p}"),
+            Some(p) => write!(f, "{}/{}", self.function, p),
+            None => write!(f, "{}", self.function),
+        }
+    }
+}
+
+/// One measured benchmark, as recorded for the final summary.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// `group/function/parameter` path.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Median nanoseconds per iteration (over timed batches).
+    pub median_ns: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+/// Timing loop handed to the closure of a benchmark.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    batch_means: Vec<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, running it repeatedly for the measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates a batch size targeting ~1ms batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = self.warmup.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((0.001 / per_iter).ceil() as u64).clamp(1, 1_000_000);
+
+        let start = Instant::now();
+        while start.elapsed() < self.measure {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed().as_nanos() as f64;
+            self.batch_means.push(elapsed / batch as f64);
+            self.iters += batch;
+        }
+    }
+
+    fn sample(&mut self, id: String) -> Sample {
+        let mut means = std::mem::take(&mut self.batch_means);
+        if means.is_empty() {
+            return Sample {
+                id,
+                mean_ns: 0.0,
+                median_ns: 0.0,
+                iters: 0,
+            };
+        }
+        means.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let mean = means.iter().sum::<f64>() / means.len() as f64;
+        let median = means[means.len() / 2];
+        Sample {
+            id,
+            mean_ns: mean,
+            median_ns: median,
+            iters: self.iters,
+        }
+    }
+}
+
+/// Entry point collecting benchmark results (a tiny subset of the real
+/// `Criterion` struct).
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    samples: Vec<Sample>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = |var: &str, default_ms: u64| {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .map(Duration::from_millis)
+                .unwrap_or(Duration::from_millis(default_ms))
+        };
+        Criterion {
+            warmup: ms("BENCH_WARMUP_MS", 20),
+            measure: ms("BENCH_MEASURE_MS", 120),
+            samples: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.record(String::new(), id.into(), f);
+        self
+    }
+
+    fn record(&mut self, group: String, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            batch_means: Vec::new(),
+            iters: 0,
+        };
+        f(&mut b);
+        let path = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        let s = b.sample(path);
+        println!(
+            "bench {:<44} mean {:>12.1} ns/iter  median {:>12.1} ns/iter  ({} iters)",
+            s.id, s.mean_ns, s.median_ns, s.iters
+        );
+        self.samples.push(s);
+    }
+
+    /// Prints the final table and writes the JSON summary if
+    /// `BENCH_OUTPUT` is set. Called by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks measured", self.samples.len());
+        if let Ok(path) = std::env::var("BENCH_OUTPUT") {
+            let mut out = String::from("{\n  \"benchmarks\": [\n");
+            for (i, s) in self.samples.iter().enumerate() {
+                let comma = if i + 1 == self.samples.len() { "" } else { "," };
+                out.push_str(&format!(
+                    "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
+                     \"iters\": {}}}{comma}\n",
+                    s.id, s.mean_ns, s.median_ns, s.iters
+                ));
+            }
+            out.push_str("  ]\n}\n");
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                println!("wrote {path}");
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let group = self.name.clone();
+        self.criterion.record(group, id.into(), f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value (passed by reference).
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let group = self.name.clone();
+        self.criterion.record(group, id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond dropping the borrow).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function calling each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `fn main` running each group then printing the summary.
+/// Harness arguments passed by `cargo bench` (e.g. `--bench`) are
+/// accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}

@@ -1,0 +1,27 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+/// Generates vectors whose lengths fall in `range`.
+pub fn vec<S: Strategy>(element: S, range: Range<usize>) -> VecStrategy<S> {
+    assert!(range.end > range.start, "empty length range");
+    VecStrategy { element, range }
+}
+
+/// The result of [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    range: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.range.end - self.range.start) as u64;
+        let len = self.range.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
