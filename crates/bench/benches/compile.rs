@@ -152,6 +152,141 @@ fn interpreted_vs_compiled(c: &mut Criterion) {
     g.finish();
 }
 
+/// Steady-state workloads over the environment-strategy runtime:
+/// fib up to 24 (interpreted and compiled), the evaluation-strategy
+/// ablation on the same program, deep tuple marshalling across the
+/// boundary, and a boundary-crossing ping-pong loop.
+fn steady_state(c: &mut Criterion) {
+    use funtal::machine::EvalStrategy;
+
+    // fib up to 24 — a genuinely hot recursion, compiled vs interpreted.
+    let p = fib_program();
+    let interp = def_to_fexpr(&p.defs["fib"], &Default::default());
+    let compiled = compile_program(
+        &p,
+        CodegenOpts {
+            tail_call_opt: false,
+        },
+    )
+    .wrap("fib");
+    let mut g = c.benchmark_group("fib_steady");
+    for n in [16i64, 20, 24] {
+        for (name, f) in [("interpreted", &interp), ("compiled", &compiled)] {
+            let prog = app(f.clone(), vec![fint_e(n)]);
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    run_fexpr(&prog, RunCfg::with_fuel(100_000_000), &mut NullTracer).unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+
+    // Strategy ablation: the same program under the substitution
+    // oracle and the environment machine.
+    let fp = factorial_program();
+    let fact = compile_program(&fp, CodegenOpts::default()).wrap("fact");
+    let prog = app(fact, vec![fint_e(12)]);
+    let mut g = c.benchmark_group("strategy_ablation");
+    for (name, strategy) in [
+        ("substitution", EvalStrategy::Substitution),
+        ("environment", EvalStrategy::Environment),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, 12), &12, |b, _| {
+            b.iter(|| {
+                run_fexpr(
+                    &prog,
+                    RunCfg::with_fuel(10_000_000).with_strategy(strategy),
+                    &mut NullTracer,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    // Deep tuple marshalling: a T component exports an increasingly
+    // nested tuple, exercising the Fig 10 value translation.
+    let mut g = c.benchmark_group("marshalling");
+    for depth in [8usize, 12] {
+        let prog = nested_tuple_program(depth);
+        g.bench_with_input(BenchmarkId::new("tuple_depth", depth), &depth, |b, _| {
+            b.iter(|| run_fexpr(&prog, RunCfg::with_fuel(1_000_000), &mut NullTracer).unwrap())
+        });
+    }
+    g.finish();
+
+    // Boundary ping-pong: F applies a boundary-wrapped T identity k
+    // times in a row — the §6 multi-language crossing cost.
+    let mut g = c.benchmark_group("pingpong");
+    for k in [64usize, 256] {
+        let prog = pingpong_program(k);
+        g.bench_with_input(BenchmarkId::new("crossings", k), &k, |b, _| {
+            b.iter(|| run_fexpr(&prog, RunCfg::with_fuel(10_000_000), &mut NullTracer).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Builds the depth-nested boxed-tuple export used by `marshalling`
+/// (same shape as `translation/tuple_depth`, at steady-state depths).
+fn nested_tuple_program(depth: usize) -> funtal_syntax::FExpr {
+    let mut ty = fint();
+    for _ in 0..depth {
+        ty = ftuple_ty(vec![fint(), ty]);
+    }
+    let mut instrs = vec![mv(r1(), int_v(7))];
+    for _ in 0..depth {
+        instrs.extend([
+            mv(r2(), int_v(1)),
+            salloc(2),
+            sst(0, r2()),
+            sst(1, r1()),
+            balloc(r1(), 2),
+        ]);
+    }
+    let t_ty = funtal::fty_to_tty(&ty);
+    boundary(
+        ty.clone(),
+        tcomp(seq(instrs, halt(t_ty, nil(), r1())), vec![]),
+    )
+}
+
+/// `k` crossings of a boundary-wrapped T identity function.
+fn pingpong_program(k: usize) -> funtal_syntax::FExpr {
+    let ident = boundary(
+        arrow(vec![fint()], fint()),
+        tcomp(
+            seq(
+                vec![protect(vec![], "zp"), mv(r1(), loc("id"))],
+                halt(
+                    funtal::fty_to_tty(&arrow(vec![fint()], fint())),
+                    zvar("zp"),
+                    r1(),
+                ),
+            ),
+            vec![(
+                "id",
+                code_block(
+                    vec![d_stk("z"), d_ret("e")],
+                    chi([(
+                        ra(),
+                        code_ty(vec![], chi([(r1(), int())]), zvar("z"), q_var("e")),
+                    )]),
+                    stack(vec![int()], zvar("z")),
+                    q_reg(ra()),
+                    seq(vec![sld(r1(), 0), sfree(1)], ret(ra(), r1())),
+                ),
+            )],
+        ),
+    );
+    let mut e = fint_e(1);
+    for _ in 0..k {
+        e = app(ident.clone(), vec![e]);
+    }
+    e
+}
+
 fn translation_depth(c: &mut Criterion) {
     // E8: value-translation cost for increasingly deep tuples crossing
     // the boundary.
@@ -193,6 +328,7 @@ criterion_group!(
     benches,
     compile_time,
     interpreted_vs_compiled,
+    steady_state,
     translation_depth
 );
 criterion_main!(benches);

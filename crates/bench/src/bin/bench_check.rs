@@ -1,0 +1,189 @@
+//! Regression gate over benchmark snapshots.
+//!
+//! ```text
+//! bench_check <BASELINE.json> <CURRENT.json> [--threshold 1.25] [--prefix P]...
+//! ```
+//!
+//! Compares the mean of every benchmark in `BASELINE` whose id starts
+//! with one of the gated prefixes (default: `interpreted_vs_compiled/`
+//! and `tail_call_ablation/`) against the same id in `CURRENT`, and
+//! exits non-zero when any mean regressed by more than the threshold
+//! factor, or when a gated row disappeared.
+//!
+//! Snapshots from different machines are made comparable by
+//! **calibration** (on by default, `--no-calibrate` disables): the
+//! median current/baseline ratio over the *non-gated* rows estimates
+//! the machine-speed factor between the two measurements, and gated
+//! ratios are judged relative to it. A uniformly slower CI runner thus
+//! passes, while a change that slows the gated runtime paths relative
+//! to the rest of the suite fails.
+//!
+//! The files are the `BENCH_OUTPUT` snapshots of the vendored
+//! criterion shim (one `{"id": …, "mean_ns": …}` object per line), so
+//! a dependency-free line parser is enough.
+
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Row {
+    id: String,
+    mean_ns: f64,
+}
+
+fn parse_rows(path: &str) -> Result<Vec<Row>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let Some(id) = field_str(line, "\"id\":") else {
+            continue;
+        };
+        let Some(mean) = field_num(line, "\"mean_ns\":") else {
+            return Err(format!("{path}: row `{id}` has no mean_ns"));
+        };
+        rows.push(Row {
+            id: id.to_string(),
+            mean_ns: mean,
+        });
+    }
+    if rows.is_empty() {
+        return Err(format!("{path}: no benchmark rows found"));
+    }
+    Ok(rows)
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let open = rest.find('"')?;
+    let rest = &rest[open + 1..];
+    let close = rest.find('"')?;
+    Some(&rest[..close])
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let rest = line[line.find(key)? + key.len()..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut threshold = 1.25f64;
+    let mut calibrate = true;
+    let mut prefixes: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(t) => t,
+                    None => {
+                        eprintln!("--threshold needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--no-calibrate" => calibrate = false,
+            "--prefix" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => prefixes.push(p.clone()),
+                    None => {
+                        eprintln!("--prefix needs a value");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => files.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if prefixes.is_empty() {
+        prefixes = vec![
+            "interpreted_vs_compiled/".to_string(),
+            "tail_call_ablation/".to_string(),
+        ];
+    }
+    let [baseline, current] = files.as_slice() else {
+        eprintln!(
+            "usage: bench_check <BASELINE.json> <CURRENT.json> \
+             [--threshold F] [--no-calibrate] [--prefix P]..."
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let (base, cur) = match (parse_rows(baseline), parse_rows(current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Machine-speed calibration from the rows we are *not* gating.
+    let gated = |id: &str| prefixes.iter().any(|p| id.starts_with(p));
+    let speed = if calibrate {
+        let mut ratios: Vec<f64> = base
+            .iter()
+            .filter(|r| !gated(&r.id))
+            .filter_map(|r| {
+                cur.iter()
+                    .find(|c| c.id == r.id)
+                    .map(|c| c.mean_ns / r.mean_ns)
+            })
+            .collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        match ratios.as_slice() {
+            [] => 1.0,
+            rs => rs[rs.len() / 2],
+        }
+    } else {
+        1.0
+    };
+    println!("machine-speed calibration factor: {speed:.3}");
+
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    for row in base.iter().filter(|r| gated(&r.id)) {
+        checked += 1;
+        match cur.iter().find(|c| c.id == row.id) {
+            None => {
+                eprintln!("FAIL {}: missing from {current}", row.id);
+                failures += 1;
+            }
+            Some(c) => {
+                let ratio = c.mean_ns / row.mean_ns / speed;
+                let verdict = if ratio > threshold { "FAIL" } else { "ok  " };
+                println!(
+                    "{verdict} {:<44} {:>12.1} -> {:>12.1} ns  ({:+.1}%)",
+                    row.id,
+                    row.mean_ns,
+                    c.mean_ns,
+                    (ratio - 1.0) * 100.0
+                );
+                if ratio > threshold {
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if checked == 0 {
+        eprintln!("error: no gated rows matched prefixes {prefixes:?} in {baseline}");
+        return ExitCode::FAILURE;
+    }
+    if failures > 0 {
+        eprintln!(
+            "{failures}/{checked} gated benchmark(s) regressed beyond {:.0}%",
+            (threshold - 1.0) * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{checked} gated benchmark(s) within {:.0}%",
+        (threshold - 1.0) * 100.0
+    );
+    ExitCode::SUCCESS
+}

@@ -35,6 +35,7 @@
 //!   `factF` into exactly the loop shape of `factT`.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use funtal_syntax::build as b;
 use funtal_syntax::{
@@ -53,10 +54,15 @@ pub struct CodegenOpts {
 
 /// The result of compiling a whole program: one heap fragment holding
 /// every definition's blocks.
+///
+/// Blocks are emitted behind [`Arc`] so that every [`Compiled::wrap`]
+/// call — and every boundary crossing of the wrapped component at
+/// runtime — shares the same instruction sequences instead of
+/// re-allocating them per call.
 #[derive(Clone, Debug)]
 pub struct Compiled {
-    /// All generated blocks.
-    pub heap: Vec<(Label, HeapVal)>,
+    /// All generated blocks, shared.
+    pub heap: Vec<(Label, Arc<HeapVal>)>,
     /// Entry label and arity per definition.
     pub entries: BTreeMap<String, (Label, usize)>,
 }
@@ -105,7 +111,11 @@ pub fn compile_program(p: &Program, opts: CodegenOpts) -> Compiled {
             def.name.clone(),
             (Label::new(def.name.as_str()), def.params.len()),
         );
-        heap.extend(compile_def(def, opts));
+        heap.extend(
+            compile_def(def, opts)
+                .into_iter()
+                .map(|(l, hv)| (l, Arc::new(hv))),
+        );
     }
     Compiled { heap, entries }
 }

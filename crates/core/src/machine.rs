@@ -21,6 +21,23 @@ use funtal_tal::trace::{Event, Tracer};
 
 use crate::translate::{f_to_t, t_to_f};
 
+/// How the machine evaluates: the paper-literal substitution semantics
+/// or the environment-passing machine that computes the same thing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvalStrategy {
+    /// Term-rewriting small steps exactly as in Fig 8: every reduction
+    /// rebuilds the term, β-reduction substitutes. The executable
+    /// specification, kept as the differential-testing oracle.
+    Substitution,
+    /// The CEK-style machine of [`crate::machine_fast`]: explicit
+    /// continuation stack + value environment for F, compiled-cursor
+    /// execution with a flat heap for T. Observably identical
+    /// (including fuel accounting, events, and fresh labels), much
+    /// faster. The default.
+    #[default]
+    Environment,
+}
+
 /// Configuration for a run.
 #[derive(Clone, Copy, Debug)]
 pub struct RunCfg {
@@ -28,6 +45,8 @@ pub struct RunCfg {
     pub fuel: u64,
     /// Enable the dynamic type-safety guard at every T jump.
     pub guard: bool,
+    /// Which evaluator runs the program.
+    pub strategy: EvalStrategy,
 }
 
 impl Default for RunCfg {
@@ -35,6 +54,7 @@ impl Default for RunCfg {
         RunCfg {
             fuel: 1_000_000,
             guard: false,
+            strategy: EvalStrategy::default(),
         }
     }
 }
@@ -46,6 +66,11 @@ impl RunCfg {
             fuel,
             ..Self::default()
         }
+    }
+
+    /// The same configuration under a different strategy.
+    pub fn with_strategy(self, strategy: EvalStrategy) -> Self {
+        RunCfg { strategy, ..self }
     }
 
     fn opts(&self) -> MachineOpts {
@@ -319,8 +344,22 @@ fn step_ft_seq(
     }
 }
 
-/// Runs an FT component to completion (or until the fuel bound).
+/// Runs an FT component to completion (or until the fuel bound),
+/// dispatching on the configured [`EvalStrategy`].
 pub fn run(
+    mem: &mut Memory,
+    comp: &Component,
+    cfg: RunCfg,
+    tracer: &mut dyn Tracer,
+) -> RResult<FtOutcome> {
+    match cfg.strategy {
+        EvalStrategy::Environment => crate::machine_fast::run_fast(mem, comp, cfg, tracer),
+        EvalStrategy::Substitution => run_subst(mem, comp, cfg, tracer),
+    }
+}
+
+/// The substitution-strategy runner (the Fig 8 oracle).
+fn run_subst(
     mem: &mut Memory,
     comp: &Component,
     cfg: RunCfg,

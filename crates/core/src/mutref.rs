@@ -176,6 +176,7 @@ mod tests {
         let cfg = RunCfg {
             fuel: 10_000,
             guard: true,
+            ..RunCfg::default()
         };
         let out = run_fexpr(&super::cell_demo(7, 1), cfg, &mut NullTracer).unwrap();
         assert_eq!(out, FtOutcome::Value(fint_e(8)));

@@ -398,16 +398,9 @@ pub fn t_to_f(mem: &mut Memory, w: &WordVal, ty: &FTy) -> RResult<FExpr> {
     }
 }
 
-/// Builds the code→λ wrapper of Fig 10 (uniformly covering
-/// stack-modifying arrows) and allocates its `ℓend` halting block.
-fn wrap_code_as_lambda(
-    mem: &mut Memory,
-    w: WordVal,
-    params: &[FTy],
-    phi_in: &[TTy],
-    phi_out: &[TTy],
-    ret: &FTy,
-) -> RResult<FExpr> {
+/// Checks that an arrow's stack prefixes are closed, a precondition of
+/// the code→λ wrapper (shared by both evaluation strategies).
+pub(crate) fn check_wrappable(phi_in: &[TTy], phi_out: &[TTy]) -> RResult<()> {
     let free_prefix: bool = phi_out.iter().any(|t| !ftv_tty(t).is_empty())
         || phi_in.iter().any(|t| !ftv_tty(t).is_empty());
     if free_prefix {
@@ -415,30 +408,43 @@ fn wrap_code_as_lambda(
             "cannot wrap a code pointer whose arrow prefixes have free type variables".to_string(),
         ));
     }
-    let ret_tty = fty_to_tty(ret);
-    let z = TyVar::new("z");
-    let z2 = TyVar::new("z2");
+    Ok(())
+}
 
-    // ℓend = code[z2: stk]{r1: τ'𝒯; φo :: z2} end{τ'𝒯; φo :: z2}.
-    //           halt τ'𝒯, φo :: z2 {r1}
+/// Builds the `ℓend` halting block of the Fig 10 code→λ wrapper:
+/// `code[z2: stk]{r1: τ'𝒯; φo :: z2} end{…}. halt τ'𝒯, φo :: z2 {r1}`.
+pub(crate) fn end_block(ret_tty: &TTy, phi_out: &[TTy]) -> CodeBlock {
+    let z2 = TyVar::new("z2");
     let end_sigma = StackTy {
         prefix: phi_out.to_vec(),
         tail: StackTail::Var(z2.clone()),
     };
-    let lend = mem.alloc(
-        "lend",
-        HeapVal::Code(CodeBlock {
-            delta: vec![funtal_syntax::TyVarDecl::stack(z2.clone())],
-            chi: RegFileTy::from_pairs([(b::r1(), ret_tty.clone())]),
-            sigma: end_sigma.clone(),
-            q: RetMarker::end(ret_tty.clone(), end_sigma.clone()),
-            body: InstrSeq::just(Terminator::Halt {
-                ty: ret_tty.clone(),
-                sigma: end_sigma,
-                val: b::r1(),
-            }),
+    CodeBlock {
+        delta: vec![funtal_syntax::TyVarDecl::stack(z2)],
+        chi: RegFileTy::from_pairs([(b::r1(), ret_tty.clone())]),
+        sigma: end_sigma.clone(),
+        q: RetMarker::end(ret_tty.clone(), end_sigma.clone()),
+        body: InstrSeq::just(Terminator::Halt {
+            ty: ret_tty.clone(),
+            sigma: end_sigma,
+            val: b::r1(),
         }),
-    );
+    }
+}
+
+/// Builds the wrapper lambda of Fig 10 around a code-pointer word,
+/// given the already-allocated `ℓend` label (shared by both evaluation
+/// strategies).
+pub(crate) fn wrapper_lambda(
+    w: WordVal,
+    lend: &funtal_syntax::Label,
+    params: &[FTy],
+    phi_in: &[TTy],
+    phi_out: &[TTy],
+    ret: &FTy,
+) -> FExpr {
+    let ret_tty = fty_to_tty(ret);
+    let z = TyVar::new("z");
 
     // Body component: import and push each argument, set ra, call w.
     let mut instrs = Vec::new();
@@ -486,7 +492,7 @@ fn wrap_code_as_lambda(
         },
         comp: Box::new(comp),
     };
-    Ok(FExpr::Lam(Box::new(Lam {
+    FExpr::Lam(Box::new(Lam {
         params: (1..=params.len())
             .map(|i| (VarName::new(format!("x{i}")), params[i - 1].clone()))
             .collect(),
@@ -494,7 +500,23 @@ fn wrap_code_as_lambda(
         phi_in: phi_in.to_vec(),
         phi_out: phi_out.to_vec(),
         body,
-    })))
+    }))
+}
+
+/// Builds the code→λ wrapper of Fig 10 (uniformly covering
+/// stack-modifying arrows) and allocates its `ℓend` halting block.
+fn wrap_code_as_lambda(
+    mem: &mut Memory,
+    w: WordVal,
+    params: &[FTy],
+    phi_in: &[TTy],
+    phi_out: &[TTy],
+    ret: &FTy,
+) -> RResult<FExpr> {
+    check_wrappable(phi_in, phi_out)?;
+    let ret_tty = fty_to_tty(ret);
+    let lend = mem.alloc("lend", HeapVal::Code(end_block(&ret_tty, phi_out)));
+    Ok(wrapper_lambda(w, &lend, params, phi_in, phi_out, ret))
 }
 
 #[cfg(test)]

@@ -195,6 +195,7 @@ fn fig11_runs_under_guard() {
         RunCfg {
             fuel: 1_000_000,
             guard: true,
+            ..RunCfg::default()
         },
         &mut NullTracer,
     )

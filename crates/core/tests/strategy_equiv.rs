@@ -1,0 +1,316 @@
+//! Differential testing of the two evaluation strategies.
+//!
+//! The substitution machine is the executable form of Fig 8; the
+//! environment machine is the fast path. This suite pins them
+//! together on three axes:
+//!
+//! 1. **Outcomes** — every paper figure, the compiled MiniF programs,
+//!    and a proptest-generated corpus produce *identical*
+//!    [`FtOutcome`]s (including heap labels inside halt words and the
+//!    exact shape of returned values).
+//! 2. **Events** — the traced event streams coincide, so step counts
+//!    and control-flow diagrams are strategy-independent.
+//! 3. **Fuel** — the minimal sufficient fuel is the same, i.e. the
+//!    strategies agree step-for-step, not just in the limit; in
+//!    particular both report `OutOfFuel` under exactly the same
+//!    bounds.
+
+use funtal::figures::*;
+use funtal::machine::{run, run_fexpr, EvalStrategy, FtOutcome, RunCfg};
+use funtal_compile::codegen::{compile_program, CodegenOpts};
+use funtal_compile::lang::{factorial_program, fib_program};
+use funtal_equiv::gen::{gen_context, gen_value, SplitMix};
+use funtal_syntax::build::*;
+use funtal_syntax::{Component, FExpr, FTy};
+use funtal_tal::machine::Memory;
+use funtal_tal::trace::{NullTracer, VecTracer};
+use proptest::prelude::*;
+
+fn run_with(
+    comp: &Component,
+    strategy: EvalStrategy,
+    fuel: u64,
+) -> (Result<FtOutcome, String>, Vec<funtal_tal::trace::Event>) {
+    let mut mem = Memory::new();
+    let mut tracer = VecTracer::new();
+    let cfg = RunCfg::with_fuel(fuel).with_strategy(strategy);
+    let out = run(&mut mem, comp, cfg, &mut tracer).map_err(|e| e.to_string());
+    (out, tracer.events)
+}
+
+/// Asserts both strategies agree on outcome and event stream.
+fn assert_agree(name: &str, comp: &Component, fuel: u64) {
+    let (sub, sub_events) = run_with(comp, EvalStrategy::Substitution, fuel);
+    let (env, env_events) = run_with(comp, EvalStrategy::Environment, fuel);
+    assert_eq!(sub, env, "{name}: outcomes disagree");
+    assert_eq!(sub_events, env_events, "{name}: event streams disagree");
+}
+
+/// The least fuel under which the strategy completes (binary search).
+fn minimal_fuel(comp: &Component, strategy: EvalStrategy) -> u64 {
+    let done = |fuel: u64| {
+        let mut mem = Memory::new();
+        !matches!(
+            run(
+                &mut mem,
+                comp,
+                RunCfg::with_fuel(fuel).with_strategy(strategy),
+                &mut NullTracer,
+            ),
+            Ok(FtOutcome::OutOfFuel)
+        )
+    };
+    let mut hi = 1u64;
+    while !done(hi) {
+        hi *= 2;
+        assert!(hi < 1 << 32, "program does not terminate");
+    }
+    let mut lo = 0u64; // invariant: !done(lo) (fuel 0 never completes a non-value)
+    if done(0) {
+        return 0;
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if done(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+fn figure_programs() -> Vec<(String, Component)> {
+    let mut out: Vec<(String, Component)> = Vec::new();
+    for n in [-3i64, 0, 5] {
+        out.push((
+            format!("fig16_f1({n})"),
+            Component::F(app(fig16_f1(), vec![fint_e(n)])),
+        ));
+        out.push((
+            format!("fig16_f2({n})"),
+            Component::F(app(fig16_f2(), vec![fint_e(n)])),
+        ));
+    }
+    for n in [0i64, 1, 5, 7] {
+        out.push((
+            format!("factF({n})"),
+            Component::F(app(fig17_fact_f(), vec![fint_e(n)])),
+        ));
+        out.push((
+            format!("factT({n})"),
+            Component::F(app(fig17_fact_t(), vec![fint_e(n)])),
+        ));
+    }
+    out.push(("fig11_jit".to_string(), Component::F(fig11_jit())));
+    out.push((
+        "mutref_cell_demo".to_string(),
+        Component::F(funtal::mutref::cell_demo(-3, 3)),
+    ));
+    out.push((
+        "fig3_pure_T".to_string(),
+        Component::T(funtal_tal::figures::fig3_call_to_call()),
+    ));
+    out
+}
+
+#[test]
+fn figures_agree_on_outcomes_and_events() {
+    for (name, comp) in figure_programs() {
+        assert_agree(&name, &comp, 1_000_000);
+    }
+}
+
+#[test]
+fn figures_agree_on_minimal_fuel() {
+    for (name, comp) in figure_programs() {
+        let sub = minimal_fuel(&comp, EvalStrategy::Substitution);
+        let env = minimal_fuel(&comp, EvalStrategy::Environment);
+        assert_eq!(sub, env, "{name}: minimal sufficient fuel differs");
+        // And right below the bound, both must report OutOfFuel.
+        if sub > 0 {
+            let (s, _) = run_with(&comp, EvalStrategy::Substitution, sub - 1);
+            let (e, _) = run_with(&comp, EvalStrategy::Environment, sub - 1);
+            assert_eq!(s, Ok(FtOutcome::OutOfFuel), "{name}");
+            assert_eq!(s, e, "{name}: sub-minimal fuel behavior differs");
+        }
+    }
+}
+
+#[test]
+fn compiled_programs_agree() {
+    for (pname, p, fname, args) in [
+        ("fact", factorial_program(), "fact", vec![6i64]),
+        ("fib", fib_program(), "fib", vec![10]),
+        ("fib", fib_program(), "double_fib", vec![8]),
+    ] {
+        for tco in [false, true] {
+            let compiled = compile_program(&p, CodegenOpts { tail_call_opt: tco });
+            let call = app(
+                compiled.wrap(fname),
+                args.iter().map(|n| fint_e(*n)).collect(),
+            );
+            let comp = Component::F(call);
+            assert_agree(&format!("{pname}::{fname} tco={tco}"), &comp, 10_000_000);
+            let sub = minimal_fuel(&comp, EvalStrategy::Substitution);
+            let env = minimal_fuel(&comp, EvalStrategy::Environment);
+            assert_eq!(sub, env, "{pname}::{fname} tco={tco}: fuel differs");
+        }
+    }
+}
+
+/// Generated corpus: closed programs assembled from the bounded
+/// logical relation's input/context generators at a spread of types.
+fn corpus_program(seed: u64) -> Option<(String, FExpr)> {
+    let mut rng = SplitMix::new(seed);
+    let tys: Vec<FTy> = vec![
+        fint(),
+        funit(),
+        ftuple_ty(vec![fint(), fint()]),
+        ftuple_ty(vec![fint(), ftuple_ty(vec![funit(), fint()])]),
+        arrow(vec![fint()], fint()),
+        arrow(vec![fint(), fint()], fint()),
+        arrow(vec![arrow(vec![fint()], fint())], fint()),
+        fmu("a", ftuple_ty(vec![fint(), funit()])),
+    ];
+    let ty = tys[rng.below(tys.len())].clone();
+    let value = gen_value(&ty, &mut rng, 3);
+    let ctx = gen_context(&ty, &mut rng, 3);
+    let prog = ctx.plug(&value);
+    // The generators target well-typed experiments; skip the rare
+    // combination that falls outside the checker's fragment.
+    funtal::typecheck(&prog).ok()?;
+    Some((format!("seed {seed}: {}", ctx.describe), prog))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn generated_corpus_agrees(seed in 0u32..u32::MAX) {
+        let seed = u64::from(seed);
+        if let Some((name, prog)) = corpus_program(seed) {
+            let comp = Component::F(prog);
+            let (sub, sub_events) = run_with(&comp, EvalStrategy::Substitution, 100_000);
+            let (env, env_events) = run_with(&comp, EvalStrategy::Environment, 100_000);
+            prop_assert_eq!(&sub, &env, "{}: outcomes disagree", name);
+            prop_assert_eq!(&sub_events, &env_events, "{}: events disagree", name);
+            let msub = minimal_fuel(&comp, EvalStrategy::Substitution);
+            let menv = minimal_fuel(&comp, EvalStrategy::Environment);
+            prop_assert_eq!(msub, menv, "{}: minimal fuel differs", name);
+        }
+    }
+}
+
+#[test]
+fn guarded_runs_agree() {
+    // The dynamic type-safety guard must not change behavior on
+    // well-typed programs under either strategy.
+    for (name, comp) in figure_programs() {
+        let mut cfgs = Vec::new();
+        for strategy in [EvalStrategy::Substitution, EvalStrategy::Environment] {
+            let mut mem = Memory::new();
+            let cfg = RunCfg {
+                fuel: 1_000_000,
+                guard: true,
+                strategy,
+            };
+            cfgs.push(run(&mut mem, &comp, cfg, &mut NullTracer).map_err(|e| e.to_string()));
+        }
+        assert_eq!(cfgs[0], cfgs[1], "{name}: guarded outcomes disagree");
+        assert!(cfgs[0].is_ok(), "{name}: guard tripped on well-typed code");
+    }
+}
+
+#[test]
+fn final_memories_agree() {
+    // Not just outcomes: the final memory (heap labels, register file,
+    // stack) must match, since callers can inspect it after `run`.
+    for (name, comp) in figure_programs() {
+        let mut mem_sub = Memory::new();
+        let mut mem_env = Memory::new();
+        let cfg = RunCfg::with_fuel(1_000_000);
+        let a = run(
+            &mut mem_sub,
+            &comp,
+            cfg.with_strategy(EvalStrategy::Substitution),
+            &mut NullTracer,
+        )
+        .map_err(|e| e.to_string());
+        let b = run(
+            &mut mem_env,
+            &comp,
+            cfg.with_strategy(EvalStrategy::Environment),
+            &mut NullTracer,
+        )
+        .map_err(|e| e.to_string());
+        assert_eq!(a, b, "{name}");
+        assert_eq!(mem_sub.heap, mem_env.heap, "{name}: heaps differ");
+        assert_eq!(mem_sub.regs, mem_env.regs, "{name}: register files differ");
+        assert_eq!(mem_sub.stack, mem_env.stack, "{name}: stacks differ");
+    }
+}
+
+#[test]
+fn merged_blocks_with_captured_imports_write_back_substituted() {
+    // A β-substituted variable reaching an `import` body inside a
+    // component-local heap block: the substitution machine substitutes
+    // before merging, so the environment machine must write the merged
+    // block back in substituted form — and a fresh run on the final
+    // memory must still agree.
+    let comp = tcomp(
+        seq(vec![], jmp(loc("l"))),
+        vec![(
+            "l",
+            code_block(
+                vec![],
+                chi([]),
+                nil(),
+                q_end(int(), nil()),
+                seq(
+                    vec![import(r1(), "zi", nil(), fint(), var("x"))],
+                    halt(int(), nil(), r1()),
+                ),
+            ),
+        )],
+    );
+    let lam_e = lam(vec![("x", fint())], boundary(fint(), comp));
+    let prog = Component::F(app(lam_e, vec![fint_e(5)]));
+
+    let mut mem_sub = Memory::new();
+    let mut mem_env = Memory::new();
+    let cfg = RunCfg::with_fuel(10_000);
+    for (mem, strategy) in [
+        (&mut mem_sub, EvalStrategy::Substitution),
+        (&mut mem_env, EvalStrategy::Environment),
+    ] {
+        let out = run(mem, &prog, cfg.with_strategy(strategy), &mut NullTracer).unwrap();
+        assert_eq!(out, FtOutcome::Value(fint_e(5)), "{strategy:?}");
+    }
+    assert_eq!(mem_sub.heap, mem_env.heap, "written-back heaps differ");
+
+    // Re-running another component on the final memories must agree
+    // too (the merged block collides and is freshened identically).
+    for (mem, strategy) in [
+        (&mut mem_sub, EvalStrategy::Substitution),
+        (&mut mem_env, EvalStrategy::Environment),
+    ] {
+        let out = run(mem, &prog, cfg.with_strategy(strategy), &mut NullTracer).unwrap();
+        assert_eq!(out, FtOutcome::Value(fint_e(5)), "re-run {strategy:?}");
+    }
+    assert_eq!(mem_sub.heap, mem_env.heap, "re-run heaps differ");
+}
+
+#[test]
+fn run_fexpr_defaults_to_environment_and_matches_oracle() {
+    let e = app(fig17_fact_f(), vec![fint_e(6)]);
+    let default_out = run_fexpr(&e, RunCfg::with_fuel(100_000), &mut NullTracer).unwrap();
+    let oracle = run_fexpr(
+        &e,
+        RunCfg::with_fuel(100_000).with_strategy(EvalStrategy::Substitution),
+        &mut NullTracer,
+    )
+    .unwrap();
+    assert_eq!(default_out, oracle);
+    assert_eq!(default_out, FtOutcome::Value(fint_e(720)));
+}

@@ -33,7 +33,7 @@ pub mod error;
 pub mod minif;
 pub mod report;
 
-use funtal::machine::{run, run_fexpr, FtOutcome, RunCfg};
+use funtal::machine::{run, run_fexpr, EvalStrategy, FtOutcome, RunCfg};
 use funtal_compile::codegen::{compile_program, CodegenOpts, Compiled};
 use funtal_compile::lang::Program;
 use funtal_equiv::{equivalent, EquivCfg, Verdict};
@@ -56,6 +56,8 @@ pub struct Pipeline {
     fuel: u64,
     /// Run the dynamic type-safety guard at every T jump.
     guard: bool,
+    /// Which evaluator runs programs (environment-passing by default).
+    strategy: EvalStrategy,
     /// Code-generation options for the MiniF stage.
     codegen: CodegenOpts,
     /// Configuration for the bounded equivalence stage.
@@ -67,6 +69,7 @@ impl Default for Pipeline {
         Pipeline {
             fuel: 1_000_000,
             guard: false,
+            strategy: EvalStrategy::default(),
             codegen: CodegenOpts::default(),
             equiv: EquivCfg::default(),
         }
@@ -90,6 +93,13 @@ impl Pipeline {
     /// Enables the dynamic type-safety guard during evaluation.
     pub fn with_guard(mut self, guard: bool) -> Pipeline {
         self.guard = guard;
+        self
+    }
+
+    /// Selects the evaluation strategy (environment-passing by
+    /// default; substitution is the paper-literal oracle).
+    pub fn with_strategy(mut self, strategy: EvalStrategy) -> Pipeline {
+        self.strategy = strategy;
         self
     }
 
@@ -120,6 +130,7 @@ impl Pipeline {
         RunCfg {
             fuel: self.fuel,
             guard: self.guard,
+            strategy: self.strategy,
         }
     }
 

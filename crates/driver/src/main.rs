@@ -11,6 +11,7 @@
 
 use std::process::ExitCode;
 
+use funtal::machine::EvalStrategy;
 use funtal_compile::codegen::CodegenOpts;
 use funtal_driver::{FunTalError, Pipeline};
 use funtal_equiv::EquivCfg;
@@ -32,6 +33,8 @@ COMMANDS:
 
 OPTIONS:
     --fuel N        evaluation step bound          [default: 1000000]
+    --strategy S    evaluation strategy: `environment` (fast, default)
+                    or `substitution` (the paper-literal Fig 8 oracle)
     --guard         enable the dynamic type-safety guard at T jumps
     --steps         print step counts after `run`
     --trace         with `run`: also print the control-flow diagram
@@ -49,6 +52,7 @@ struct Opts {
     /// `Some` only when `--fuel` was given explicitly; `run` and
     /// `equiv` have different defaults.
     fuel: Option<u64>,
+    strategy: EvalStrategy,
     guard: bool,
     steps: bool,
     trace: bool,
@@ -64,6 +68,7 @@ fn parse_args(args: &[String]) -> Result<Opts, FunTalError> {
     let mut o = Opts {
         files: Vec::new(),
         fuel: None,
+        strategy: EvalStrategy::default(),
         guard: false,
         steps: false,
         trace: false,
@@ -83,6 +88,18 @@ fn parse_args(args: &[String]) -> Result<Opts, FunTalError> {
     while i < args.len() {
         match args[i].as_str() {
             "--fuel" => o.fuel = Some(parse_num(&take(args, &mut i, "--fuel")?, "--fuel")?),
+            "--strategy" => {
+                o.strategy = match take(args, &mut i, "--strategy")?.as_str() {
+                    "environment" | "env" => EvalStrategy::Environment,
+                    "substitution" | "subst" => EvalStrategy::Substitution,
+                    other => {
+                        return Err(FunTalError::driver(format!(
+                            "--strategy: `{other}` is not a strategy \
+                             (use `environment` or `substitution`)"
+                        )))
+                    }
+                }
+            }
             "--guard" => o.guard = true,
             "--steps" => o.steps = true,
             "--trace" => o.trace = true,
@@ -143,6 +160,7 @@ impl Opts {
 fn pipeline(o: &Opts) -> Pipeline {
     Pipeline::new()
         .with_fuel(o.run_fuel())
+        .with_strategy(o.strategy)
         .with_guard(o.guard)
         .with_codegen(CodegenOpts {
             tail_call_opt: o.tco,

@@ -41,6 +41,7 @@ pub mod build;
 pub mod display;
 pub mod free;
 pub mod ids;
+pub mod intern;
 pub mod rename;
 pub mod subst;
 pub mod term;

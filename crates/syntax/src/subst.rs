@@ -51,6 +51,11 @@ impl Subst {
         self.map.is_empty()
     }
 
+    /// The substituted variables.
+    pub fn domain(&self) -> impl Iterator<Item = &TyVar> {
+        self.map.keys()
+    }
+
     fn lookup(&self, v: &TyVar) -> Option<&Inst> {
         self.map.get(v)
     }
@@ -643,7 +648,9 @@ pub fn subst_fvars_tcomp(c: &TComp, map: &BTreeMap<VarName, FExpr>) -> TComp {
     }
 }
 
-fn subst_fvars_seq(seq: &InstrSeq, map: &BTreeMap<VarName, FExpr>) -> InstrSeq {
+/// Substitutes F expressions for free term variables inside an
+/// instruction sequence (reaching `import` bodies).
+pub fn subst_fvars_seq(seq: &InstrSeq, map: &BTreeMap<VarName, FExpr>) -> InstrSeq {
     let instrs = seq
         .instrs
         .iter()

@@ -2,6 +2,7 @@
 //! components (Fig 1 and 6), and F expressions (Fig 5 and 6).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::ids::{Label, Reg, TyVar, VarName};
 use crate::ty::{FTy, Inst, Mutability, RetMarker, StackTy, TTy, TyVarDecl};
@@ -414,8 +415,13 @@ pub enum HeapVal {
 }
 
 /// A heap fragment `H`: a finite map from labels to heap values.
+///
+/// Heap values are stored behind [`Arc`] so that cloning a fragment —
+/// which the machine does every time a component crosses a boundary —
+/// and merging it into a global heap share the underlying blocks
+/// instead of deep-copying their instruction sequences.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
-pub struct HeapFrag(pub BTreeMap<Label, HeapVal>);
+pub struct HeapFrag(pub BTreeMap<Label, Arc<HeapVal>>);
 
 impl HeapFrag {
     /// The empty fragment.
@@ -425,11 +431,21 @@ impl HeapFrag {
 
     /// Builds a fragment from `(label, value)` pairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (Label, HeapVal)>) -> Self {
+        HeapFrag(pairs.into_iter().map(|(l, v)| (l, Arc::new(v))).collect())
+    }
+
+    /// Builds a fragment from already-shared `(label, value)` pairs.
+    pub fn from_shared(pairs: impl IntoIterator<Item = (Label, Arc<HeapVal>)>) -> Self {
         HeapFrag(pairs.into_iter().collect())
     }
 
     /// Looks up a label.
     pub fn get(&self, l: &Label) -> Option<&HeapVal> {
+        self.0.get(l).map(|v| &**v)
+    }
+
+    /// Looks up a label, returning the shared handle.
+    pub fn get_shared(&self, l: &Label) -> Option<&Arc<HeapVal>> {
         self.0.get(l)
     }
 
@@ -440,12 +456,23 @@ impl HeapFrag {
 
     /// Iterates in label order.
     pub fn iter(&self) -> impl Iterator<Item = (&Label, &HeapVal)> {
+        self.0.iter().map(|(l, v)| (l, &**v))
+    }
+
+    /// Iterates in label order over the shared handles.
+    pub fn iter_shared(&self) -> impl Iterator<Item = (&Label, &Arc<HeapVal>)> {
         self.0.iter()
     }
 }
 
 impl FromIterator<(Label, HeapVal)> for HeapFrag {
     fn from_iter<I: IntoIterator<Item = (Label, HeapVal)>>(iter: I) -> Self {
+        iter.into_iter().map(|(l, v)| (l, Arc::new(v))).collect()
+    }
+}
+
+impl FromIterator<(Label, Arc<HeapVal>)> for HeapFrag {
+    fn from_iter<I: IntoIterator<Item = (Label, Arc<HeapVal>)>>(iter: I) -> Self {
         HeapFrag(iter.into_iter().collect())
     }
 }

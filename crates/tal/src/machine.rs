@@ -8,6 +8,7 @@
 //! state against block preconditions.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use funtal_syntax::rename::{rename_heap_val, rename_seq};
 use funtal_syntax::subst::Subst;
@@ -90,10 +91,15 @@ impl Stack {
 }
 
 /// A memory `M = (H, R, S)`.
+///
+/// Heap values are shared ([`Arc`]) so that merging a component's local
+/// fragment — which happens every time a boundary is crossed — costs a
+/// reference bump per block instead of a deep clone; `st` uses
+/// copy-on-write.
 #[derive(Clone, Debug, Default)]
 pub struct Memory {
     /// The global heap `H`.
-    pub heap: BTreeMap<Label, HeapVal>,
+    pub heap: BTreeMap<Label, Arc<HeapVal>>,
     /// The register file `R`.
     pub regs: BTreeMap<Reg, WordVal>,
     /// The stack `S`.
@@ -110,7 +116,7 @@ impl Memory {
     /// A memory with an initial global heap.
     pub fn with_heap(heap: impl IntoIterator<Item = (Label, HeapVal)>) -> Self {
         Memory {
-            heap: heap.into_iter().collect(),
+            heap: heap.into_iter().map(|(l, v)| (l, Arc::new(v))).collect(),
             ..Self::default()
         }
     }
@@ -129,7 +135,26 @@ impl Memory {
     pub fn heap_get(&self, l: &Label) -> RResult<&HeapVal> {
         self.heap
             .get(l)
+            .map(|v| &**v)
             .ok_or_else(|| RuntimeError::UnboundLabel(l.clone()))
+    }
+
+    /// Looks up a heap value, returning the shared handle.
+    pub fn heap_get_shared(&self, l: &Label) -> RResult<&Arc<HeapVal>> {
+        self.heap
+            .get(l)
+            .ok_or_else(|| RuntimeError::UnboundLabel(l.clone()))
+    }
+
+    /// The fresh-label counter (used by the environment-strategy
+    /// machine to mirror this memory's label generation exactly).
+    pub fn fresh_counter(&self) -> u64 {
+        self.next_fresh
+    }
+
+    /// Overwrites the fresh-label counter.
+    pub fn set_fresh_counter(&mut self, n: u64) {
+        self.next_fresh = n;
     }
 
     /// Allocates a fresh label. Generated names contain `$`, which the
@@ -144,7 +169,7 @@ impl Memory {
     /// Allocates a heap value at a fresh label and returns the label.
     pub fn alloc(&mut self, hint: &str, hv: HeapVal) -> Label {
         let l = self.fresh_label(hint);
-        self.heap.insert(l.clone(), hv);
+        self.heap.insert(l.clone(), Arc::new(hv));
         l
     }
 
@@ -173,8 +198,13 @@ impl Memory {
                 (l, fresh)
             })
             .collect();
-        for (l, hv) in comp.heap.iter() {
-            let renamed = rename_heap_val(hv, &renaming);
+        for (l, hv) in comp.heap.iter_shared() {
+            // Untouched blocks are shared; only renamed ones are rebuilt.
+            let renamed = if renaming.is_empty() {
+                hv.clone()
+            } else {
+                Arc::new(rename_heap_val(hv, &renaming))
+            };
             let target = renaming.get(l).cloned().unwrap_or_else(|| l.clone());
             self.heap.insert(target, renamed);
         }
@@ -378,6 +408,7 @@ pub fn exec_instr(mem: &mut Memory, instr: &Instr) -> RResult<()> {
             let hv = mem
                 .heap
                 .get_mut(&l)
+                .map(Arc::make_mut)
                 .ok_or_else(|| RuntimeError::UnboundLabel(l.clone()))?;
             let HeapVal::Tuple { mutability, fields } = hv else {
                 return Err(RuntimeError::NotTuple(format!("{l} is code")));
@@ -560,7 +591,7 @@ pub fn run_program(comp: &TComp, fuel: u64, tracer: &mut dyn Tracer) -> RResult<
 /// Lifts a component-local heap fragment into a memory without
 /// freshening (for whole programs whose labels are meaningful).
 pub fn preload_heap(mem: &mut Memory, frag: &HeapFrag) {
-    for (l, hv) in frag.iter() {
+    for (l, hv) in frag.iter_shared() {
         mem.heap.insert(l.clone(), hv.clone());
     }
 }

@@ -89,6 +89,12 @@ impl fmt::Display for Event {
 pub trait Tracer {
     /// Called once per event.
     fn event(&mut self, e: &Event);
+
+    /// False when the tracer discards everything, letting hot loops
+    /// skip event construction entirely. Defaults to true.
+    fn enabled(&self) -> bool {
+        true
+    }
 }
 
 /// Ignores all events.
@@ -97,6 +103,10 @@ pub struct NullTracer;
 
 impl Tracer for NullTracer {
     fn event(&mut self, _e: &Event) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
 }
 
 /// Records all events.

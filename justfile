@@ -8,13 +8,23 @@ build:
 test:
     cargo test -q
 
-# Run the benchmark suite; `just bench-baseline` refreshes the
-# committed snapshot.
+# Run the benchmark suite; `just bench-snapshot` refreshes the
+# committed snapshot (BENCH_pr2.json is the current gate; the PR-1
+# BENCH_baseline.json is kept for the historical trajectory).
 bench:
     cargo bench -p funtal-bench
 
-bench-baseline:
-    BENCH_OUTPUT={{justfile_directory()}}/BENCH_baseline.json cargo bench -p funtal-bench --bench compile
+bench-snapshot:
+    BENCH_OUTPUT={{justfile_directory()}}/BENCH_pr2.json cargo bench -p funtal-bench --bench compile
+
+# Regression gate: re-measure the smoke benches and fail if any
+# interpreted_vs_compiled / tail_call_ablation mean regressed >25%
+# versus the committed BENCH_pr2.json (see PERFORMANCE.md).
+bench-check:
+    BENCH_WARMUP_MS=50 BENCH_MEASURE_MS=200 BENCH_OUTPUT=/tmp/funtal_bench_now.json \
+        cargo bench -p funtal-bench --bench compile
+    cargo run -q -p funtal-bench --bin bench_check -- \
+        {{justfile_directory()}}/BENCH_pr2.json /tmp/funtal_bench_now.json --threshold 1.25
 
 # Formatting + clippy, exactly as CI enforces them.
 lint:

@@ -220,7 +220,7 @@ proptest! {
         let prog = app(f1, vec![fint_e(n)]);
         let out = run_fexpr(
             &prog,
-            RunCfg { fuel: 100_000, guard: true },
+            RunCfg { fuel: 100_000, guard: true, ..RunCfg::default() },
             &mut NullTracer,
         ).unwrap();
         prop_assert_eq!(out, FtOutcome::Value(fint_e(n + 2)));
