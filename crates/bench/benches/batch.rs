@@ -1,0 +1,73 @@
+//! Batch-engine throughput: worker scaling and cache temperature.
+//!
+//! `batch_throughput/workers/N` runs the examples+figures corpus on a
+//! cold-cache engine with N workers (every iteration re-parses and
+//! re-typechecks each distinct program once). `batch_throughput/warm/N`
+//! runs the same corpus against a persistent warm cache, so each job is
+//! hash lookups plus evaluation — the serving configuration.
+//!
+//! Worker-scaling rows only show speedup when the host actually has
+//! cores to scale onto, and single-threaded calibration cannot correct
+//! for core-count differences — so the regression gate (`bench_check`)
+//! gates only the single-threaded rows (`workers/1`, `warm/1`); the
+//! multi-worker rows are recorded for observation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use funtal_driver::corpus::paper_corpus;
+use funtal_driver::{Batch, Job, Pipeline};
+
+/// Corpus repeats per batch: 6 distinct programs × 4 = 24 jobs/iter.
+const ROUNDS: usize = 4;
+
+/// The measured workload is exactly the corpus the stress tests prove
+/// deterministic (`funtal_driver::corpus`).
+fn corpus_jobs() -> Vec<Job> {
+    let sources = paper_corpus();
+    (0..ROUNDS)
+        .flat_map(|round| {
+            sources
+                .iter()
+                .map(move |(name, src)| Job::run(format!("{name}@{round}"), src.clone()))
+        })
+        .collect()
+}
+
+fn engine(workers: usize) -> Batch {
+    Batch::new(Pipeline::new().with_fuel(1_000_000)).with_workers(workers)
+}
+
+fn batch_throughput(c: &mut Criterion) {
+    let jobs = corpus_jobs();
+    let mut g = c.benchmark_group("batch_throughput");
+
+    // Cold cache: a fresh engine per iteration (parse + check once per
+    // distinct program, evaluate every job).
+    for workers in [1usize, 2, 8] {
+        g.bench_function(BenchmarkId::new("workers", workers), |b| {
+            b.iter(|| {
+                let report = engine(workers).run(&jobs);
+                assert_eq!(report.err_count(), 0);
+                report.outcomes.len()
+            })
+        });
+    }
+
+    // Warm cache: one engine reused across iterations — after the
+    // first pass every parse/check lookup hits, which the summary
+    // counters prove (asserted in the stress tests; here we measure).
+    for workers in [1usize, 8] {
+        let warm = engine(workers);
+        warm.run(&jobs); // prime
+        g.bench_function(BenchmarkId::new("warm", workers), |b| {
+            b.iter(|| {
+                let report = warm.run(&jobs);
+                assert_eq!(report.err_count(), 0);
+                report.outcomes.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, batch_throughput);
+criterion_main!(benches);

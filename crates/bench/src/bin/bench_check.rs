@@ -4,11 +4,20 @@
 //! bench_check <BASELINE.json> <CURRENT.json> [--threshold 1.25] [--prefix P]...
 //! ```
 //!
-//! Compares the mean of every benchmark in `BASELINE` whose id starts
-//! with one of the gated prefixes (default: `interpreted_vs_compiled/`
-//! and `tail_call_ablation/`) against the same id in `CURRENT`, and
-//! exits non-zero when any mean regressed by more than the threshold
-//! factor, or when a gated row disappeared.
+//! Compares every benchmark in `BASELINE` matched by a gate entry —
+//! entries ending in `/` gate a whole group by prefix, other entries
+//! gate exactly one row id — against the same id in `CURRENT`, and
+//! exits non-zero when any row regressed by more than the threshold
+//! factor, or when a gated row disappeared. Defaults:
+//! `interpreted_vs_compiled/`, `tail_call_ablation/`, and the
+//! single-threaded batch rows `batch_throughput/workers/1` +
+//! `batch_throughput/warm/1` (exact ids — the multi-worker rows are
+//! recorded but not gated, because machine-speed calibration cannot
+//! correct for core-count differences between hosts). Rows
+//! are judged on their **median** ns/iter (falling back to the mean
+//! for snapshots that lack one): medians ride out background-load
+//! spikes that can swing the mean of a short measurement by tens of
+//! percent on a busy host.
 //!
 //! Snapshots from different machines are made comparable by
 //! **calibration** (on by default, `--no-calibrate` disables): the
@@ -27,7 +36,9 @@ use std::process::ExitCode;
 #[derive(Debug)]
 struct Row {
     id: String,
-    mean_ns: f64,
+    /// The gated statistic: median ns/iter, or the mean when the
+    /// snapshot has no median.
+    ns: f64,
 }
 
 fn parse_rows(path: &str) -> Result<Vec<Row>, String> {
@@ -37,12 +48,14 @@ fn parse_rows(path: &str) -> Result<Vec<Row>, String> {
         let Some(id) = field_str(line, "\"id\":") else {
             continue;
         };
-        let Some(mean) = field_num(line, "\"mean_ns\":") else {
-            return Err(format!("{path}: row `{id}` has no mean_ns"));
+        let Some(ns) =
+            field_num(line, "\"median_ns\":").or_else(|| field_num(line, "\"mean_ns\":"))
+        else {
+            return Err(format!("{path}: row `{id}` has no median_ns/mean_ns"));
         };
         rows.push(Row {
             id: id.to_string(),
-            mean_ns: mean,
+            ns,
         });
     }
     if rows.is_empty() {
@@ -105,6 +118,13 @@ fn main() -> ExitCode {
         prefixes = vec![
             "interpreted_vs_compiled/".to_string(),
             "tail_call_ablation/".to_string(),
+            // Only the single-threaded batch rows: calibration (below)
+            // is measured on single-threaded rows, so it can correct
+            // for clock speed but not for core count — gating
+            // workers/{2,8} would false-fail whenever the snapshot
+            // host and the runner have different parallelism.
+            "batch_throughput/workers/1".to_string(),
+            "batch_throughput/warm/1".to_string(),
         ];
     }
     let [baseline, current] = files.as_slice() else {
@@ -124,16 +144,29 @@ fn main() -> ExitCode {
     };
 
     // Machine-speed calibration from the rows we are *not* gating.
-    let gated = |id: &str| prefixes.iter().any(|p| id.starts_with(p));
+    // Multi-threaded rows are excluded from the sample even when
+    // ungated: they vary with the host's core count, not its speed,
+    // and would skew the estimate between hosts with different
+    // parallelism.
+    // A gate entry ending in `/` is a prefix (gates the whole group);
+    // anything else matches one row exactly, so gating
+    // `batch_throughput/workers/1` can never swallow a future
+    // `workers/16` row.
+    let gated = |id: &str| {
+        prefixes.iter().any(|p| {
+            if p.ends_with('/') {
+                id.starts_with(p.as_str())
+            } else {
+                id == p
+            }
+        })
+    };
+    let calibration_row = |id: &str| !gated(id) && !id.starts_with("batch_throughput/");
     let speed = if calibrate {
         let mut ratios: Vec<f64> = base
             .iter()
-            .filter(|r| !gated(&r.id))
-            .filter_map(|r| {
-                cur.iter()
-                    .find(|c| c.id == r.id)
-                    .map(|c| c.mean_ns / r.mean_ns)
-            })
+            .filter(|r| calibration_row(&r.id))
+            .filter_map(|r| cur.iter().find(|c| c.id == r.id).map(|c| c.ns / r.ns))
             .collect();
         ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
         match ratios.as_slice() {
@@ -155,13 +188,13 @@ fn main() -> ExitCode {
                 failures += 1;
             }
             Some(c) => {
-                let ratio = c.mean_ns / row.mean_ns / speed;
+                let ratio = c.ns / row.ns / speed;
                 let verdict = if ratio > threshold { "FAIL" } else { "ok  " };
                 println!(
                     "{verdict} {:<44} {:>12.1} -> {:>12.1} ns  ({:+.1}%)",
                     row.id,
-                    row.mean_ns,
-                    c.mean_ns,
+                    row.ns,
+                    c.ns,
                     (ratio - 1.0) * 100.0
                 );
                 if ratio > threshold {

@@ -78,6 +78,25 @@ impl RunCfg {
     }
 }
 
+// The batch engine (`funtal-driver`) runs one machine per worker
+// thread over artifacts shared via `Arc`. Everything a worker receives
+// (configuration, programs, memories) and everything it sends back
+// (outcomes) must therefore be `Send + Sync`; the fast machine's `Rc`
+// values and thread-local compiled-block caches are per-worker
+// internals and never cross threads. These assertions are the
+// compile-time contract — adding an `Rc` or `Cell` to any shared type
+// fails the build here, not intermittently at runtime.
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<RunCfg>();
+    require_send_sync::<EvalStrategy>();
+    require_send_sync::<FtOutcome>();
+    require_send_sync::<FExpr>();
+    require_send_sync::<Component>();
+    require_send_sync::<Memory>();
+    require_send_sync::<RuntimeError>();
+};
+
 /// The final outcome of running an FT component.
 #[derive(Clone, Debug, PartialEq)]
 pub enum FtOutcome {

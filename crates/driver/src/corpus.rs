@@ -1,0 +1,53 @@
+//! The shared paper corpus for tests and benchmarks.
+//!
+//! One list of `(name, FT source)` programs — both Fig 17 factorials,
+//! the boundary-wrapped Fig 3 call-to-call component, the Fig 11 JIT
+//! example, and the committed `.ft` examples — used by the batch
+//! stress tests (which prove the engine deterministic on it) and the
+//! `batch_throughput` benchmarks (which measure it). Keeping it in one
+//! place means the measured workload is exactly the proven-correct
+//! one.
+//!
+//! The example files are read from this repository's `examples/`
+//! directory, located relative to the crate's compile-time manifest
+//! path — this is development tooling for in-repo tests and benches,
+//! not a runtime API for installed binaries.
+
+use funtal_syntax::build::{app, boundary, fint, fint_e};
+
+/// `(name, FT source)` for every corpus program. Panics if the
+/// repository's example files are unreadable (tests and benches want
+/// loud failure, not skipped coverage).
+pub fn paper_corpus() -> Vec<(String, String)> {
+    let read = |p: &str| {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("repo root")
+            .join(p);
+        std::fs::read_to_string(&root).unwrap_or_else(|e| panic!("{}: {e}", root.display()))
+    };
+    vec![
+        ("fact_t_ft".to_string(), read("examples/fact_t.ft")),
+        (
+            "double_twice_ft".to_string(),
+            read("examples/double_twice.ft"),
+        ),
+        (
+            "fig17_factT_6".to_string(),
+            app(funtal::figures::fig17_fact_t(), vec![fint_e(6)]).to_string(),
+        ),
+        (
+            "fig17_factF_5".to_string(),
+            app(funtal::figures::fig17_fact_f(), vec![fint_e(5)]).to_string(),
+        ),
+        (
+            "fig3_boundary".to_string(),
+            boundary(fint(), funtal_tal::figures::fig3_call_to_call()).to_string(),
+        ),
+        (
+            "fig11_jit".to_string(),
+            funtal::figures::fig11_jit().to_string(),
+        ),
+    ]
+}

@@ -76,21 +76,40 @@ impl FunTalError {
     }
 }
 
+impl FunTalError {
+    /// The bare diagnostic message, without the `error[stage]`/position
+    /// envelope that [`Display`](fmt::Display) adds.
+    pub fn message(&self) -> String {
+        match self {
+            // Lex/parse positions live in the envelope (`span`), so the
+            // bare message must not repeat them.
+            FunTalError::Lex(e) => e.msg.clone(),
+            FunTalError::Parse(e) => e.msg.clone(),
+            FunTalError::FType(e) => e.to_string(),
+            FunTalError::Type(e) => e.to_string(),
+            FunTalError::Runtime(e) => e.to_string(),
+            FunTalError::MiniF(e) => e.to_string(),
+            FunTalError::OutOfFuel { fuel } => {
+                format!("out of fuel after {fuel} steps (raise with --fuel)")
+            }
+            FunTalError::Driver(msg) => msg.clone(),
+            FunTalError::Io { path, cause } => format!("{path}: {cause}"),
+        }
+    }
+}
+
+/// The one canonical rendering, used verbatim by the `funtal` CLI, the
+/// batch/serve JSON protocol, and error reports:
+/// `error[<stage>][ at <line>:<col>]: <message>`.
+///
+/// Golden tests pin this format; change it here and nowhere else.
 impl fmt::Display for FunTalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FunTalError::Lex(e) => write!(f, "lex error: {e}"),
-            FunTalError::Parse(e) => write!(f, "parse error: {e}"),
-            FunTalError::FType(e) => write!(f, "type error (F): {e}"),
-            FunTalError::Type(e) => write!(f, "type error: {e}"),
-            FunTalError::Runtime(e) => write!(f, "runtime error: {e}"),
-            FunTalError::MiniF(e) => write!(f, "MiniF error: {e}"),
-            FunTalError::OutOfFuel { fuel } => {
-                write!(f, "out of fuel after {fuel} steps (raise with --fuel)")
-            }
-            FunTalError::Driver(msg) => f.write_str(msg),
-            FunTalError::Io { path, cause } => write!(f, "{path}: {cause}"),
+        write!(f, "error[{}]", self.stage())?;
+        if let Some((line, col)) = self.span() {
+            write!(f, " at {line}:{col}")?;
         }
+        write!(f, ": {}", self.message())
     }
 }
 
@@ -129,5 +148,66 @@ impl From<RuntimeError> for FunTalError {
 impl From<MiniFError> for FunTalError {
     fn from(e: MiniFError) -> Self {
         FunTalError::MiniF(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every variant renders as `error[stage][ at l:c]: message` — the
+    /// single Display path shared by the CLI and the batch protocol.
+    #[test]
+    fn canonical_rendering_per_variant() {
+        let lex = FunTalError::from(LexError {
+            msg: "unexpected `~`".to_string(),
+            line: 2,
+            col: 7,
+        });
+        assert_eq!(lex.to_string(), "error[lex] at 2:7: unexpected `~`");
+
+        let parse = FunTalError::from(ParseError {
+            msg: "expected `)`".to_string(),
+            line: 1,
+            col: 3,
+        });
+        assert_eq!(parse.to_string(), "error[parse] at 1:3: expected `)`");
+
+        let fuel = FunTalError::OutOfFuel { fuel: 99 };
+        assert_eq!(
+            fuel.to_string(),
+            "error[run]: out of fuel after 99 steps (raise with --fuel)"
+        );
+
+        let driver = FunTalError::driver("no definition named `f`");
+        assert_eq!(driver.to_string(), "error[driver]: no definition named `f`");
+
+        let io = FunTalError::Io {
+            path: "missing.ft".to_string(),
+            cause: "No such file".to_string(),
+        };
+        assert_eq!(io.to_string(), "error[io]: missing.ft: No such file");
+    }
+
+    /// Display = envelope + message, and the envelope fields come from
+    /// the same accessors the structured protocol uses.
+    #[test]
+    fn display_agrees_with_structured_fields() {
+        let errs = [
+            FunTalError::driver("boom"),
+            FunTalError::OutOfFuel { fuel: 5 },
+            FunTalError::from(ParseError {
+                msg: "x".to_string(),
+                line: 4,
+                col: 9,
+            }),
+        ];
+        for e in errs {
+            let want = match e.span() {
+                Some((l, c)) => format!("error[{}] at {l}:{c}: {}", e.stage(), e.message()),
+                None => format!("error[{}]: {}", e.stage(), e.message()),
+            };
+            assert_eq!(e.to_string(), want);
+        }
     }
 }

@@ -29,7 +29,11 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
+pub mod cache;
+pub mod corpus;
 pub mod error;
+pub mod json;
 pub mod minif;
 pub mod report;
 
@@ -43,6 +47,8 @@ use funtal_syntax::build::{app, fint_e};
 use funtal_syntax::{Component, FExpr, FTy};
 use funtal_tal::trace::{CountTracer, Tracer, VecTracer};
 
+pub use batch::{Batch, BatchReport, Job, JobKind, JobOutcome, JobSuccess};
+pub use cache::{ArtifactCache, CacheStats};
 pub use error::FunTalError;
 pub use report::{Checked, CompiledMiniF, RunReport, TraceReport};
 
@@ -220,6 +226,24 @@ impl Pipeline {
     pub fn run_source(&self, src: &str) -> Result<RunReport, FunTalError> {
         let e = self.parse(src)?;
         self.run(&e)
+    }
+
+    /// Evaluates an expression whose type is already known, skipping
+    /// the typecheck stage. The batch engine calls this when its
+    /// content-addressed cache already holds the type — a warm-cache
+    /// `run` is hash lookups plus evaluation, nothing else.
+    ///
+    /// The caller is responsible for `ty` actually being the type of
+    /// `e` (the cache guarantees this: the key is the term itself).
+    pub fn run_prechecked(&self, e: &FExpr, ty: FTy) -> Result<RunReport, FunTalError> {
+        let mut counts = CountTracer::new();
+        let outcome = run_fexpr(e, self.run_cfg(), &mut counts)?;
+        Ok(RunReport {
+            ty,
+            outcome,
+            counts,
+            fuel: self.fuel,
+        })
     }
 
     /// Like [`run`](Pipeline::run), with a caller-supplied tracer

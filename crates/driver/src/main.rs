@@ -13,7 +13,7 @@ use std::process::ExitCode;
 
 use funtal::machine::EvalStrategy;
 use funtal_compile::codegen::CodegenOpts;
-use funtal_driver::{FunTalError, Pipeline};
+use funtal_driver::{Batch, FunTalError, Job, JobKind, Pipeline};
 use funtal_equiv::EquivCfg;
 
 const USAGE: &str = "funtal — the FunTAL multi-language driver
@@ -30,6 +30,13 @@ COMMANDS:
                             the boundary-wrapped result
     equiv    A.ft B.ft      compare two programs with the bounded logical
                             relation (Section 5)
+    batch    JOBS...        run many jobs on a worker pool with shared
+                            content-addressed caches; JOBS are .jsonl job
+                            files (`-` for stdin), or .ft/.mf files taken
+                            as run/compile jobs. JSON-lines out.
+    serve                   long-lived JSON-lines loop: one job per stdin
+                            line, one result per stdout line, caches warm
+                            across requests
 
 OPTIONS:
     --fuel N        evaluation step bound          [default: 1000000]
@@ -44,6 +51,9 @@ OPTIONS:
     --samples N     with `equiv`: experiments per type   [default: 12]
     --seed N        with `equiv`: RNG seed
     --depth N       with `equiv`: input-generation depth
+    --workers N     with `batch`: worker threads          [default: 1]
+    --repeat K      with `batch`: submit the job list K times (repeat
+                    r >= 2 suffixes ids with #r; exercises the caches)
     -h, --help      print this help
 ";
 
@@ -61,6 +71,8 @@ struct Opts {
     samples: usize,
     seed: u64,
     depth: u32,
+    workers: usize,
+    repeat: usize,
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, FunTalError> {
@@ -77,6 +89,8 @@ fn parse_args(args: &[String]) -> Result<Opts, FunTalError> {
         samples: defaults.samples,
         seed: defaults.seed,
         depth: defaults.depth,
+        workers: 1,
+        repeat: 1,
     };
     let mut i = 0;
     let take = |args: &[String], i: &mut usize, flag: &str| -> Result<String, FunTalError> {
@@ -109,6 +123,12 @@ fn parse_args(args: &[String]) -> Result<Opts, FunTalError> {
             }
             "--seed" => o.seed = parse_num(&take(args, &mut i, "--seed")?, "--seed")?,
             "--depth" => o.depth = parse_num(&take(args, &mut i, "--depth")?, "--depth")?,
+            "--workers" => {
+                o.workers = parse_num::<usize>(&take(args, &mut i, "--workers")?, "--workers")?
+            }
+            "--repeat" => {
+                o.repeat = parse_num::<usize>(&take(args, &mut i, "--repeat")?, "--repeat")?.max(1)
+            }
             "--call" => {
                 let name = take(args, &mut i, "--call")?;
                 let mut call_args = Vec::new();
@@ -269,6 +289,164 @@ fn cmd_equiv(o: &Opts) -> Result<(), FunTalError> {
     Ok(())
 }
 
+/// Builds the job list for `funtal batch`: `.jsonl`/`.json` files (or
+/// `-` for stdin) are JSON-lines job streams; `.ft` files become `run`
+/// jobs and `.mf` files `compile` jobs, with ids from the file path.
+fn batch_jobs(o: &Opts) -> Result<Vec<Job>, FunTalError> {
+    let mut jobs = Vec::new();
+    for file in &o.files {
+        if file == "-" {
+            let mut text = String::new();
+            use std::io::Read;
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|e| FunTalError::Io {
+                    path: "<stdin>".to_string(),
+                    cause: e.to_string(),
+                })?;
+            jobs.extend(Job::parse_jsonl(&text)?);
+        } else if file.ends_with(".jsonl") || file.ends_with(".json") {
+            jobs.extend(Job::parse_jsonl(&read_file(file)?)?);
+        } else if file.ends_with(".mf") {
+            let mut job = Job::compile(file.clone(), read_file(file)?);
+            if let (
+                Job {
+                    kind: JobKind::Compile { tco, call, .. },
+                    ..
+                },
+                true,
+            ) = (&mut job, o.tco || o.call.is_some())
+            {
+                *tco = o.tco;
+                call.clone_from(&o.call);
+            }
+            jobs.push(job);
+        } else if file.ends_with(".ft") {
+            jobs.push(Job::run(file.clone(), read_file(file)?));
+        } else {
+            return Err(FunTalError::driver(format!(
+                "`funtal batch`: cannot tell what `{file}` is \
+                 (use .jsonl/.json job files, .ft, .mf, or `-` for stdin)"
+            )));
+        }
+    }
+    if jobs.is_empty() {
+        return Err(FunTalError::driver(
+            "`funtal batch` needs at least one job (a .jsonl file, `-`, or .ft/.mf files)",
+        ));
+    }
+    if o.repeat > 1 {
+        let base = jobs.clone();
+        for r in 2..=o.repeat {
+            jobs.extend(base.iter().map(|j| Job {
+                id: format!("{}#{r}", j.id),
+                kind: j.kind.clone(),
+            }));
+        }
+    }
+    Ok(jobs)
+}
+
+fn cmd_batch(o: &Opts) -> Result<(), FunTalError> {
+    let jobs = batch_jobs(o)?;
+    let engine = Batch::new(pipeline(o)).with_workers(o.workers);
+    let report = engine.run(&jobs);
+    print!("{}", report.result_lines());
+    println!("{}", report.summary_json());
+    if report.err_count() > 0 {
+        return Err(FunTalError::driver(format!(
+            "{} of {} job(s) failed",
+            report.err_count(),
+            jobs.len()
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_serve(o: &Opts) -> Result<(), FunTalError> {
+    if !o.files.is_empty() {
+        return Err(FunTalError::driver(
+            "`funtal serve` reads jobs from stdin (no file arguments)",
+        ));
+    }
+    if o.workers > 1 {
+        return Err(FunTalError::driver(
+            "`funtal serve` processes requests in arrival order (one at a time); \
+             `--workers` applies to `funtal batch`",
+        ));
+    }
+    let engine = Batch::new(pipeline(o));
+    let stdin = std::io::stdin();
+    let mut served = 0usize;
+    let mut failed = 0usize;
+    let mut lineno = 0usize;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        use std::io::{BufRead, Write};
+        if stdin
+            .lock()
+            .read_line(&mut line)
+            .map_err(|e| FunTalError::Io {
+                path: "<stdin>".to_string(),
+                cause: e.to_string(),
+            })?
+            == 0
+        {
+            break; // EOF: client hung up.
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        served += 1;
+        // Fallback ids use the 1-based input line number, exactly as
+        // `Job::parse_jsonl` does for batch job files.
+        let fallback = format!("job{lineno}");
+        let parsed = funtal_driver::json::Json::parse(trimmed)
+            .map_err(|e| FunTalError::driver(format!("bad job line: {e}")));
+        // Even when the job is invalid, echo the client's own id if
+        // one was given — clients correlate replies by id.
+        let reply_id = parsed
+            .as_ref()
+            .ok()
+            .and_then(|v| match v.get("id") {
+                Some(funtal_driver::json::Json::Str(s)) => Some(s.clone()),
+                Some(funtal_driver::json::Json::Int(n)) => Some(n.to_string()),
+                _ => None,
+            })
+            .unwrap_or_else(|| fallback.clone());
+        let outcome = match parsed.and_then(|v| Job::from_json(&v, &fallback)) {
+            Ok(job) => engine.run_job(&job),
+            Err(e) => funtal_driver::JobOutcome {
+                id: reply_id,
+                cmd: "serve",
+                result: Err(e),
+            },
+        };
+        if outcome.result.is_err() {
+            failed += 1;
+        }
+        println!("{}", outcome.to_json());
+        std::io::stdout().flush().ok();
+    }
+    // The parting summary goes to stderr so stdout stays pure
+    // protocol — the same schema `funtal batch` prints, via the one
+    // shared renderer.
+    eprintln!(
+        "{}",
+        funtal_driver::batch::render_summary(
+            &engine.cache().stats(),
+            served,
+            served - failed,
+            failed,
+            engine.workers(),
+        )
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -289,6 +467,8 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&o),
         "compile" => cmd_compile(&o),
         "equiv" => cmd_equiv(&o),
+        "batch" => cmd_batch(&o),
+        "serve" => cmd_serve(&o),
         other => Err(FunTalError::driver(format!(
             "unknown command `{other}` (try `funtal --help`)"
         ))),
@@ -296,10 +476,9 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            match e.span() {
-                Some((line, col)) => eprintln!("error[{}] at {line}:{col}: {e}", e.stage()),
-                None => eprintln!("error[{}]: {e}", e.stage()),
-            }
+            // The canonical `error[stage][ at l:c]: message` rendering
+            // is FunTalError's Display — one path for CLI and batch.
+            eprintln!("{e}");
             ExitCode::FAILURE
         }
     }

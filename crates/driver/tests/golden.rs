@@ -1,0 +1,243 @@
+//! Golden snapshot tests for the `funtal` CLI.
+//!
+//! Every subcommand runs over the committed `examples/` corpus (plus
+//! the fixtures under `tests/golden/`); stdout, stderr, and the exit
+//! code are captured and compared byte-for-byte against the committed
+//! snapshots in `tests/golden/*.golden`.
+//!
+//! To refresh after an intentional output change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p funtal-driver --test golden
+//! ```
+//!
+//! then review the diff like any other code change. The snapshots pin
+//! the CLI's user-visible surface: value renderings, trace diagrams,
+//! step-count lines, the JSON-lines batch protocol, and the canonical
+//! `error[stage][ at l:c]: message` diagnostics.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+/// One golden case: a snapshot name, CLI arguments, optional stdin.
+struct Case {
+    name: &'static str,
+    args: &'static [&'static str],
+    stdin: Option<&'static str>,
+}
+
+const fn case(name: &'static str, args: &'static [&'static str]) -> Case {
+    Case {
+        name,
+        args,
+        stdin: None,
+    }
+}
+
+/// The full matrix: all five original subcommands plus `batch` and
+/// `serve`, over every committed example, plus the error paths.
+const CASES: &[Case] = &[
+    // check: every example, one invocation (order pins multi-file output).
+    case(
+        "check_all",
+        &["check", "examples/double_twice.ft", "examples/fact_t.ft"],
+    ),
+    // run: each .ft example, with and without --steps.
+    case("run_double_twice", &["run", "examples/double_twice.ft"]),
+    case(
+        "run_double_twice_steps",
+        &["run", "examples/double_twice.ft", "--steps"],
+    ),
+    case("run_fact_t", &["run", "examples/fact_t.ft"]),
+    case(
+        "run_fact_t_steps",
+        &["run", "examples/fact_t.ft", "--steps"],
+    ),
+    case(
+        "run_fact_t_subst",
+        &[
+            "run",
+            "examples/fact_t.ft",
+            "--strategy",
+            "substitution",
+            "--steps",
+        ],
+    ),
+    // trace: the Fig 12-style diagrams.
+    case("trace_double_twice", &["trace", "examples/double_twice.ft"]),
+    case("trace_fact_t", &["trace", "examples/fact_t.ft"]),
+    // compile: plain, TCO, and applied.
+    case("compile_fact", &["compile", "examples/fact.mf"]),
+    case(
+        "compile_fact_tco_call",
+        &[
+            "compile",
+            "examples/fact.mf",
+            "--tco",
+            "--call",
+            "fact",
+            "5",
+        ],
+    ),
+    // equiv: reflexivity and an observable difference.
+    case(
+        "equiv_self",
+        &[
+            "equiv",
+            "examples/double_twice.ft",
+            "examples/double_twice.ft",
+        ],
+    ),
+    case(
+        "equiv_differs",
+        &["equiv", "examples/double_twice.ft", "examples/fact_t.ft"],
+    ),
+    // error paths: the canonical rendering, pinned.
+    case("error_parse", &["run", "crates/driver/tests/golden/bad.ft"]),
+    case("error_missing_file", &["run", "no/such/file.ft"]),
+    case("error_unknown_cmd", &["frobnicate"]),
+    // batch: the protocol corpus, cold and warm (one worker so the
+    // cache counters in the summary are deterministic), plus direct
+    // .ft/.mf file jobs on two workers (all-distinct keys, so the
+    // counters are deterministic even racing).
+    case(
+        "batch_jobs",
+        &["batch", "crates/driver/tests/golden/jobs.jsonl"],
+    ),
+    case(
+        "batch_jobs_warm",
+        &[
+            "batch",
+            "crates/driver/tests/golden/jobs.jsonl",
+            "--repeat",
+            "2",
+        ],
+    ),
+    case(
+        "batch_files",
+        &[
+            "batch",
+            "examples/double_twice.ft",
+            "examples/fact_t.ft",
+            "examples/fact.mf",
+            "--workers",
+            "2",
+        ],
+    ),
+    // serve: same corpus through the long-lived loop (stdin → stdout).
+    Case {
+        name: "serve_session",
+        args: &["serve"],
+        stdin: Some(include_str!("golden/jobs.jsonl")),
+    },
+];
+
+fn repo_root() -> PathBuf {
+    // crates/driver → repo root is two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("repo root")
+        .to_path_buf()
+}
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Runs the binary and renders the observation in the snapshot format.
+fn observe(case: &Case) -> String {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_funtal"));
+    cmd.args(case.args)
+        .current_dir(repo_root())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawning funtal");
+    if let Some(stdin) = case.stdin {
+        use std::io::Write;
+        child
+            .stdin
+            .take()
+            .expect("piped stdin")
+            .write_all(stdin.as_bytes())
+            .expect("writing stdin");
+    } else {
+        drop(child.stdin.take());
+    }
+    let out = child.wait_with_output().expect("running funtal");
+    format!(
+        "# funtal {}\n# exit: {}\n--- stdout ---\n{}--- stderr ---\n{}",
+        case.args.join(" "),
+        out.status.code().expect("exit code"),
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+    )
+}
+
+#[test]
+fn cli_output_matches_golden_snapshots() {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let mut failures = Vec::new();
+    for case in CASES {
+        let got = observe(case);
+        let path = golden_dir().join(format!("{}.golden", case.name));
+        if update {
+            std::fs::write(&path, &got).expect("writing golden");
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(want) if want == got => {}
+            Ok(want) => failures.push(format!(
+                "snapshot `{}` differs\n--- want ---\n{want}\n--- got ---\n{got}",
+                case.name
+            )),
+            Err(_) => failures.push(format!(
+                "snapshot `{}` missing (run with UPDATE_GOLDEN=1 to create)\n--- got ---\n{got}",
+                case.name
+            )),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden mismatch(es):\n\n{}\n\nIf the change is intentional, refresh with \
+         UPDATE_GOLDEN=1 cargo test -p funtal-driver --test golden",
+        failures.len(),
+        failures.join("\n\n")
+    );
+}
+
+/// Snapshot names must be unique — a duplicate silently overwrites a
+/// sibling in UPDATE_GOLDEN mode.
+#[test]
+fn snapshot_names_are_unique() {
+    let mut names: Vec<&str> = CASES.iter().map(|c| c.name).collect();
+    names.sort_unstable();
+    let before = names.len();
+    names.dedup();
+    assert_eq!(before, names.len(), "duplicate snapshot names");
+}
+
+/// Every .ft/.mf file under examples/ is covered by at least one case,
+/// so adding an example forces a golden decision.
+#[test]
+fn all_examples_are_covered() {
+    let mut uncovered = Vec::new();
+    for entry in std::fs::read_dir(repo_root().join("examples")).expect("examples/") {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy().into_owned();
+        if !(name.ends_with(".ft") || name.ends_with(".mf")) {
+            continue;
+        }
+        let covered = CASES.iter().any(|c| {
+            c.args.iter().any(|a| a.ends_with(&name)) || c.stdin.is_some_and(|s| s.contains(&name))
+        });
+        if !covered {
+            uncovered.push(name);
+        }
+    }
+    assert!(
+        uncovered.is_empty(),
+        "examples without golden coverage: {uncovered:?}"
+    );
+}

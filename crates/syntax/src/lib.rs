@@ -40,6 +40,7 @@ pub mod alpha;
 pub mod build;
 pub mod display;
 pub mod free;
+pub mod hash;
 pub mod ids;
 pub mod intern;
 pub mod rename;

@@ -139,7 +139,7 @@ impl Tracer for VecTracer {
 }
 
 /// Counts events by class; the cheap tracer used by benchmarks.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CountTracer {
     /// T instructions executed.
     pub instrs: u64,

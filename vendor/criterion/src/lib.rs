@@ -212,24 +212,47 @@ impl Criterion {
 
     /// Prints the final table and writes the JSON summary if
     /// `BENCH_OUTPUT` is set. Called by [`criterion_main!`].
+    ///
+    /// With `BENCH_APPEND=1` the rows are *appended* to the file, one
+    /// `{"id": …}` object per line, so several bench binaries can
+    /// accumulate a single combined snapshot (the `bench_check` gate
+    /// parses snapshots line-wise and accepts both layouts).
     pub fn final_summary(&self) {
         println!("\n{} benchmarks measured", self.samples.len());
-        if let Ok(path) = std::env::var("BENCH_OUTPUT") {
+        let Ok(path) = std::env::var("BENCH_OUTPUT") else {
+            return;
+        };
+        let append = std::env::var("BENCH_APPEND").is_ok_and(|v| v == "1");
+        let row = |s: &Sample| {
+            format!(
+                "{{\"id\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"iters\": {}}}",
+                s.id, s.mean_ns, s.median_ns, s.iters
+            )
+        };
+        let result = if append {
+            use std::io::Write;
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| {
+                    for s in &self.samples {
+                        writeln!(f, "{}", row(s))?;
+                    }
+                    Ok(())
+                })
+        } else {
             let mut out = String::from("{\n  \"benchmarks\": [\n");
             for (i, s) in self.samples.iter().enumerate() {
                 let comma = if i + 1 == self.samples.len() { "" } else { "," };
-                out.push_str(&format!(
-                    "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
-                     \"iters\": {}}}{comma}\n",
-                    s.id, s.mean_ns, s.median_ns, s.iters
-                ));
+                out.push_str(&format!("    {}{comma}\n", row(s)));
             }
             out.push_str("  ]\n}\n");
-            if let Err(e) = std::fs::write(&path, out) {
-                eprintln!("warning: could not write {path}: {e}");
-            } else {
-                println!("wrote {path}");
-            }
+            std::fs::write(&path, out)
+        };
+        match result {
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+            Ok(()) => println!("wrote {path}"),
         }
     }
 }
