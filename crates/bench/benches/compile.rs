@@ -148,6 +148,18 @@ fn interpreted_vs_compiled(c: &mut Criterion) {
                 b.iter(|| run_fexpr(&prog, RunCfg::with_fuel(10_000_000), &mut NullTracer).unwrap())
             });
         }
+        for (name, f) in [
+            ("plain_bytecode", sum_plain.clone()),
+            ("tco_bytecode", sum_tco.clone()),
+        ] {
+            let lowered = funtal::prelower(&app(f, vec![fint_e(n), fint_e(0)]));
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    funtal::run_prelowered(&lowered, RunCfg::with_fuel(10_000_000), &mut NullTracer)
+                        .unwrap()
+                })
+            });
+        }
     }
     g.finish();
 }
@@ -179,6 +191,16 @@ fn steady_state(c: &mut Criterion) {
                 })
             });
         }
+        // Bytecode tier on the same compiled program; lowering happens
+        // once outside the timing loop (that is the cacheable artifact).
+        let prog = app(compiled.clone(), vec![fint_e(n)]);
+        let lowered = funtal::prelower(&prog);
+        g.bench_with_input(BenchmarkId::new("bytecode", n), &n, |b, _| {
+            b.iter(|| {
+                funtal::run_prelowered(&lowered, RunCfg::with_fuel(100_000_000), &mut NullTracer)
+                    .unwrap()
+            })
+        });
     }
     g.finish();
 

@@ -1,7 +1,8 @@
 //! Regression gate over benchmark snapshots.
 //!
 //! ```text
-//! bench_check <BASELINE.json> <CURRENT.json> [--threshold 1.25] [--prefix P]...
+//! bench_check <BASELINE.json> <CURRENT.json> [--threshold 1.25]
+//!             [--prefix P]... [--speedup BASE:CUR:FACTOR]...
 //! ```
 //!
 //! Compares every benchmark in `BASELINE` matched by a gate entry —
@@ -9,15 +10,25 @@
 //! gate exactly one row id — against the same id in `CURRENT`, and
 //! exits non-zero when any row regressed by more than the threshold
 //! factor, or when a gated row disappeared. Defaults:
-//! `interpreted_vs_compiled/`, `tail_call_ablation/`, and the
-//! single-threaded batch rows `batch_throughput/workers/1` +
-//! `batch_throughput/warm/1` (exact ids — the multi-worker rows are
-//! recorded but not gated, because machine-speed calibration cannot
-//! correct for core-count differences between hosts). Rows
-//! are judged on their **median** ns/iter (falling back to the mean
-//! for snapshots that lack one): medians ride out background-load
-//! spikes that can swing the mean of a short measurement by tens of
-//! percent on a busy host.
+//! `interpreted_vs_compiled/`, `tail_call_ablation/`, the headline
+//! bytecode row `fib_steady/bytecode/24`, and the single-threaded
+//! batch rows `batch_throughput/workers/1` + `batch_throughput/warm/1`
+//! (exact ids — the multi-worker rows are recorded but not gated,
+//! because machine-speed calibration cannot correct for core-count
+//! differences between hosts, and the short `fib_steady/bytecode/16`
+//! and `/20` rows are recorded but not gated because their sub-3ms
+//! medians swing by double-digit percentages run-to-run on a shared
+//! host). Rows are judged on their **median** ns/iter
+//! (falling back to the mean for snapshots that lack one): medians
+//! ride out background-load spikes that can swing the mean of a short
+//! measurement by tens of percent on a busy host.
+//!
+//! `--speedup BASE:CUR:FACTOR` additionally asserts a cross-row
+//! speedup: the `CUR` row of `CURRENT` must be at least `FACTOR`×
+//! faster than the `BASE` row of `BASELINE` (after machine-speed
+//! calibration). This is how the bytecode tier's headline claim —
+//! `fib_steady/bytecode/24` ≥ 2.5× over the frozen
+//! `fib_steady/compiled/24` — is pinned in CI rather than in prose.
 //!
 //! Snapshots from different machines are made comparable by
 //! **calibration** (on by default, `--no-calibrate` disables): the
@@ -86,6 +97,7 @@ fn main() -> ExitCode {
     let mut threshold = 1.25f64;
     let mut calibrate = true;
     let mut prefixes: Vec<String> = Vec::new();
+    let mut speedups: Vec<(String, String, f64)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -110,6 +122,25 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--speedup" => {
+                i += 1;
+                let spec = args.get(i).map(String::as_str).unwrap_or("");
+                let parts: Vec<&str> = spec.split(':').collect();
+                let parsed = match parts.as_slice() {
+                    [base, cur, factor] => factor
+                        .parse::<f64>()
+                        .ok()
+                        .map(|f| (base.to_string(), cur.to_string(), f)),
+                    _ => None,
+                };
+                match parsed {
+                    Some(s) => speedups.push(s),
+                    None => {
+                        eprintln!("--speedup needs BASE_ID:CUR_ID:FACTOR");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             other => files.push(other.to_string()),
         }
         i += 1;
@@ -118,6 +149,13 @@ fn main() -> ExitCode {
         prefixes = vec![
             "interpreted_vs_compiled/".to_string(),
             "tail_call_ablation/".to_string(),
+            // The direct-threaded tier's headline steady-state row
+            // (exact id). The interpreted/compiled fib_steady rows and
+            // the short bytecode/16 + /20 rows stay ungated — they
+            // feed the calibration sample instead, and the short rows'
+            // sub-3ms medians are too volatile on a shared host to
+            // gate honestly at any reasonable threshold.
+            "fib_steady/bytecode/24".to_string(),
             // Only the single-threaded batch rows: calibration (below)
             // is measured on single-threaded rows, so it can correct
             // for clock speed but not for core count — gating
@@ -206,6 +244,23 @@ fn main() -> ExitCode {
     if checked == 0 {
         eprintln!("error: no gated rows matched prefixes {prefixes:?} in {baseline}");
         return ExitCode::FAILURE;
+    }
+    for (base_id, cur_id, factor) in &speedups {
+        checked += 1;
+        let (Some(b), Some(c)) = (
+            base.iter().find(|r| &r.id == base_id),
+            cur.iter().find(|r| &r.id == cur_id),
+        ) else {
+            eprintln!("FAIL speedup {base_id} -> {cur_id}: row missing");
+            failures += 1;
+            continue;
+        };
+        let got = b.ns * speed / c.ns;
+        let verdict = if got < *factor { "FAIL" } else { "ok  " };
+        println!("{verdict} speedup {base_id} -> {cur_id}: {got:.2}x (need >= {factor:.2}x)");
+        if got < *factor {
+            failures += 1;
+        }
     }
     if failures > 0 {
         eprintln!(

@@ -7,13 +7,21 @@
 //! materialization — the multi-language program moves between
 //! configurations exactly as the paper describes.
 //!
+//! Beyond the paper's two-point space, the runtime has a third rung:
+//! definitions that stay hot past a second threshold keep their
+//! compiled materialization but execute on the direct-threaded
+//! **bytecode** tier (`EvalStrategy::Bytecode`), which lowers the T
+//! cursor to register-allocated linear IR. The move is again purely a
+//! configuration change — outcomes and step counts are proven
+//! identical across all three rungs in `tests/jit_correctness.rs`.
+//!
 //! Correctness of every move is testable: all configurations must be
 //! observationally equivalent (see `tests/jit_correctness.rs` and E12
 //! in DESIGN.md).
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use funtal::machine::{run_fexpr_threaded, FtOutcome, RunCfg};
+use funtal::machine::{run_fexpr_threaded, EvalStrategy, FtOutcome, RunCfg};
 use funtal_syntax::build::*;
 use funtal_syntax::FExpr;
 use funtal_tal::trace::CountTracer;
@@ -29,6 +37,9 @@ pub enum Mode {
     Interpreted,
     /// Materialized as a boundary around compiled T blocks.
     Compiled,
+    /// Compiled materialization, executed on the direct-threaded
+    /// bytecode tier (linear IR below the compiled cursor).
+    Bytecode,
 }
 
 /// Statistics from one invocation.
@@ -36,6 +47,9 @@ pub enum Mode {
 pub struct InvokeStats {
     /// The integer result.
     pub result: i64,
+    /// The mode the invocation actually executed under (promotion
+    /// affects *future* invocations, so this lags the counter by one).
+    pub mode: Mode,
     /// T instructions executed.
     pub t_instrs: u64,
     /// F reduction steps.
@@ -52,11 +66,13 @@ pub struct Jit {
     threshold: u64,
     counters: BTreeMap<String, u64>,
     hot: BTreeSet<String>,
+    blazing: BTreeSet<String>,
 }
 
 impl Jit {
     /// Creates a runtime over a validated program. Functions start
-    /// interpreted and are compiled after `threshold` invocations.
+    /// interpreted, are compiled after `threshold` invocations, and
+    /// drop to the bytecode tier after `2 * threshold`.
     pub fn new(program: Program, threshold: u64, opts: CodegenOpts) -> Self {
         let compiled = compile_program(&program, opts);
         Jit {
@@ -65,12 +81,15 @@ impl Jit {
             threshold,
             counters: BTreeMap::new(),
             hot: BTreeSet::new(),
+            blazing: BTreeSet::new(),
         }
     }
 
     /// The current mode of a definition.
     pub fn mode(&self, name: &str) -> Mode {
-        if self.hot.contains(name) {
+        if self.blazing.contains(name) {
+            Mode::Bytecode
+        } else if self.hot.contains(name) {
             Mode::Compiled
         } else {
             Mode::Interpreted
@@ -81,6 +100,12 @@ impl Jit {
     /// move).
     pub fn force_compile(&mut self, name: &str) {
         self.hot.insert(name.to_string());
+    }
+
+    /// Forces a definition straight onto the bytecode tier.
+    pub fn force_bytecode(&mut self, name: &str) {
+        self.hot.insert(name.to_string());
+        self.blazing.insert(name.to_string());
     }
 
     /// Materializes the F expression for `name` under the current
@@ -102,16 +127,21 @@ impl Jit {
     }
 
     /// Invokes `name(args)` under the current configuration, bumping
-    /// its hotness counter (and compiling it once the counter passes
-    /// the threshold — affecting *future* invocations, as in a real
-    /// JIT).
+    /// its hotness counter (and promoting it — to compiled past the
+    /// threshold, to the bytecode tier past twice the threshold — for
+    /// *future* invocations, as in a real JIT).
     pub fn invoke(&mut self, name: &str, args: &[i64], fuel: u64) -> Result<InvokeStats, String> {
+        let mode = self.mode(name);
         let expr = app(
             self.materialize(name),
             args.iter().map(|n| fint_e(*n)).collect(),
         );
-        let (out, tr) = run_fexpr_threaded(&expr, RunCfg::with_fuel(fuel), CountTracer::new())
-            .map_err(|e| e.to_string())?;
+        let mut cfg = RunCfg::with_fuel(fuel);
+        if mode == Mode::Bytecode {
+            cfg = cfg.with_strategy(EvalStrategy::Bytecode);
+        }
+        let (out, tr) =
+            run_fexpr_threaded(&expr, cfg, CountTracer::new()).map_err(|e| e.to_string())?;
         let result = match out {
             FtOutcome::Value(FExpr::Int(n)) => n,
             FtOutcome::Value(v) => return Err(format!("non-integer result {v}")),
@@ -123,8 +153,12 @@ impl Jit {
         if *c >= self.threshold {
             self.hot.insert(name.to_string());
         }
+        if *c >= 2 * self.threshold {
+            self.blazing.insert(name.to_string());
+        }
         Ok(InvokeStats {
             result,
+            mode,
             t_instrs: tr.instrs,
             f_steps: tr.f_steps,
             crossings: tr.crossings,
@@ -148,13 +182,13 @@ mod tests {
         );
         assert_eq!(jit.mode("fact"), Mode::Interpreted);
         let s1 = jit.invoke("fact", &[6], 5_000_000).unwrap();
-        assert_eq!(s1.result, 720);
+        assert_eq!((s1.result, s1.mode), (720, Mode::Interpreted));
         let s2 = jit.invoke("fact", &[6], 5_000_000).unwrap();
-        assert_eq!(s2.result, 720);
+        assert_eq!((s2.result, s2.mode), (720, Mode::Interpreted));
         // Now hot: the next invocation runs compiled code.
         assert_eq!(jit.mode("fact"), Mode::Compiled);
         let s3 = jit.invoke("fact", &[6], 5_000_000).unwrap();
-        assert_eq!(s3.result, 720);
+        assert_eq!((s3.result, s3.mode), (720, Mode::Compiled));
         // The compiled configuration does strictly less F work.
         assert!(
             s3.f_steps < s1.f_steps,
@@ -163,5 +197,26 @@ mod tests {
             s1.f_steps
         );
         assert!(s3.t_instrs > s1.t_instrs);
+        // Past twice the threshold: the bytecode tier, with step
+        // counts identical to the compiled rung (same configuration,
+        // faster machine).
+        let s4 = jit.invoke("fact", &[6], 5_000_000).unwrap();
+        assert_eq!(jit.mode("fact"), Mode::Bytecode);
+        let s5 = jit.invoke("fact", &[6], 5_000_000).unwrap();
+        assert_eq!((s5.result, s5.mode), (720, Mode::Bytecode));
+        assert_eq!(
+            (s5.t_instrs, s5.f_steps, s5.crossings),
+            (s4.t_instrs, s4.f_steps, s4.crossings),
+            "bytecode tier changed observable step counts"
+        );
+    }
+
+    #[test]
+    fn force_bytecode_skips_the_ladder() {
+        let mut jit = Jit::new(factorial_program(), 1_000, CodegenOpts::default());
+        jit.force_bytecode("fact");
+        assert_eq!(jit.mode("fact"), Mode::Bytecode);
+        let s = jit.invoke("fact", &[5], 5_000_000).unwrap();
+        assert_eq!((s.result, s.mode), (120, Mode::Bytecode));
     }
 }

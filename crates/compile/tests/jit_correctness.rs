@@ -109,6 +109,36 @@ fn mixed_configuration_equiv() {
     assert!(v.is_equiv(), "{v}");
 }
 
+#[test]
+fn jit_ladder_is_observably_equivalent_across_tiers() {
+    use funtal_compile::jit::{Jit, Mode};
+    // Threshold 1: the three invocations climb the whole ladder —
+    // interpreted, compiled, bytecode — over the same call.
+    let mut jit = Jit::new(
+        fib_program(),
+        1,
+        CodegenOpts {
+            tail_call_opt: true,
+        },
+    );
+    let s1 = jit.invoke("fib", &[10], 5_000_000).unwrap();
+    let s2 = jit.invoke("fib", &[10], 5_000_000).unwrap();
+    let s3 = jit.invoke("fib", &[10], 5_000_000).unwrap();
+    assert_eq!(s1.mode, Mode::Interpreted);
+    assert_eq!(s2.mode, Mode::Compiled);
+    assert_eq!(s3.mode, Mode::Bytecode);
+    // Every rung computes the same value.
+    assert_eq!(s1.result, s2.result);
+    assert_eq!(s2.result, s3.result);
+    // Compiled and bytecode share a configuration, so the tier switch
+    // must be invisible in the step accounting too.
+    assert_eq!(
+        (s2.t_instrs, s2.f_steps, s2.crossings),
+        (s3.t_instrs, s3.f_steps, s3.crossings),
+        "bytecode tier changed observable step counts"
+    );
+}
+
 // --- property-based sweep over random MiniF programs -----------------------
 
 /// Generates a random call-free or self-recursive MiniF body over `n`
@@ -213,6 +243,27 @@ proptest! {
             let got = funtal::machine::eval_to_value(&call, 5_000_000)
                 .expect("compiled program runs");
             prop_assert_eq!(&got, &fint_e(expected), "{:?}", opts);
+
+            // The bytecode tier computes the same value with the same
+            // step counts as the environment machine.
+            use funtal::machine::{run_fexpr_threaded, EvalStrategy, FtOutcome, RunCfg};
+            use funtal_tal::trace::CountTracer;
+            let (env_out, env_tr) =
+                run_fexpr_threaded(&call, RunCfg::with_fuel(5_000_000), CountTracer::new())
+                    .expect("environment run");
+            let (bc_out, bc_tr) = run_fexpr_threaded(
+                &call,
+                RunCfg::with_fuel(5_000_000).with_strategy(EvalStrategy::Bytecode),
+                CountTracer::new(),
+            )
+            .expect("bytecode run");
+            prop_assert_eq!(&bc_out, &FtOutcome::Value(fint_e(expected)), "{:?}", opts);
+            prop_assert_eq!(&bc_out, &env_out);
+            prop_assert_eq!(
+                (bc_tr.instrs, bc_tr.f_steps, bc_tr.crossings, bc_tr.transfers),
+                (env_tr.instrs, env_tr.f_steps, env_tr.crossings, env_tr.transfers),
+                "{:?}", opts
+            );
         }
 
         // The interpreted F encoding agrees too.

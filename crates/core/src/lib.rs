@@ -44,10 +44,12 @@
 pub mod check;
 pub mod figures;
 pub mod machine;
+pub mod machine_bc;
 pub mod machine_fast;
 pub mod mutref;
 pub mod translate;
 
 pub use check::{type_of_fexpr, typecheck, typecheck_component, FtCtx, Gamma};
-pub use machine::{eval_to_value, run, run_fexpr, EvalStrategy, FtOutcome, RunCfg};
+pub use machine::{eval_to_value, run, run_fexpr, EvalStrategy, ExecTier, FtOutcome, RunCfg};
+pub use machine_bc::{prelower, run_prelowered, LoweredProgram};
 pub use translate::{f_to_t, fty_to_tty, t_to_f};

@@ -36,7 +36,17 @@ pub enum EvalStrategy {
     /// faster. The default.
     #[default]
     Environment,
+    /// The direct-threaded bytecode VM of [`crate::machine_bc`]: each T
+    /// component is lowered whole to a flat linear IR with jump targets
+    /// resolved to absolute offsets, sharing the environment machine's
+    /// F side. Observably identical to both other strategies; the
+    /// fastest tier for T-heavy programs.
+    Bytecode,
 }
+
+/// The execution-tier vocabulary the driver exposes (`--tier`): each
+/// tier is an evaluation strategy of the same observable machine.
+pub type ExecTier = EvalStrategy;
 
 /// Configuration for a run.
 #[derive(Clone, Copy, Debug)]
@@ -95,6 +105,9 @@ const _: () = {
     require_send_sync::<Component>();
     require_send_sync::<Memory>();
     require_send_sync::<RuntimeError>();
+    // Pre-lowered bytecode is a shared batch artifact: workers run the
+    // same lowered program concurrently.
+    require_send_sync::<crate::machine_bc::LoweredProgram>();
 };
 
 /// The final outcome of running an FT component.
@@ -373,6 +386,7 @@ pub fn run(
 ) -> RResult<FtOutcome> {
     match cfg.strategy {
         EvalStrategy::Environment => crate::machine_fast::run_fast(mem, comp, cfg, tracer),
+        EvalStrategy::Bytecode => crate::machine_bc::run_bc(mem, comp, cfg, tracer),
         EvalStrategy::Substitution => run_subst(mem, comp, cfg, tracer),
     }
 }

@@ -1,0 +1,1641 @@
+//! The bytecode tier: a direct-threaded VM below the compiled cursor.
+//!
+//! The cursor tier of [`crate::machine_fast`] walks one compiled
+//! [`InstrSeq`] at a time and re-resolves every control transfer
+//! through the heap (hash lookup on labels, arity check, inline-cache
+//! probes). This tier lowers a whole T component — entry sequence plus
+//! every block of its heap fragment — into **one flat instruction
+//! stream** ([`BcModule`]):
+//!
+//! - operands are constant-folded at lower time ([`lower_op`]), and
+//!   the common shapes get their own decoded opcodes (`ArithRR`,
+//!   `ArithRI`, `MvInt`, …) so the dispatch loop runs one `match` per
+//!   instruction over a dense register file;
+//! - jump/call targets whose peeled base is a fragment-local label are
+//!   resolved to **absolute instruction-stream offsets** at lower time
+//!   ([`BcTarget::Static`]) — taken branches are a program-counter
+//!   assignment, with the arity check discharged once during lowering;
+//! - cross-fragment entries go through a per-heap-cell inline cache
+//!   ([`BcCell`]): after the first entry, re-entering a block costs a
+//!   pointer compare and a bounds-checked offset load.
+//!
+//! Fuel, events, fresh labels, and error behavior mirror the cursor
+//! tier op for op (which in turn mirrors the Fig 8 substitution
+//! oracle), so all three strategies agree on outcomes *and* exact step
+//! counts; `tests/strategy_equiv.rs` and the driver's differential
+//! suite enforce this. The F side is shared outright: the bytecode VM
+//! plugs into the same CEK machine through the
+//! [`Tier`](crate::machine_fast::Tier) trait.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::sync::{Arc, Weak};
+
+use funtal_syntax::intern::{IExpr, IKind};
+use funtal_syntax::subst::Subst;
+use funtal_syntax::{
+    ArithOp, Component, FExpr, FTy, HeapFrag, HeapVal, Inst, Instr, InstrSeq, Label, Mutability,
+    Reg, RetMarker, StackTy, TComp, Terminator, WordVal,
+};
+use funtal_tal::error::{RResult, RuntimeError};
+use funtal_tal::machine::Memory;
+use funtal_tal::trace::{Event, Tracer};
+
+use crate::machine::{FtOutcome, RunCfg};
+use crate::machine_fast::{
+    lower_op, peel_count, Ctrl, Env, FastHeapVal, FastMem, FastOp, Frame, Machine, MergeOutcome,
+    Step, TWord, Tier,
+};
+
+// ---------------------------------------------------------------------
+// The linear IR
+// ---------------------------------------------------------------------
+
+/// A control-transfer operand of the linear IR.
+#[derive(Clone, Debug)]
+pub(crate) enum BcTarget {
+    /// A fragment-local constant target, resolved at lower time: `off`
+    /// is the absolute instruction-stream offset of the block body,
+    /// `ord` the block's fragment ordinal (indexing the instance's
+    /// label table for events), and `w` the original constant word for
+    /// the guarded slow path. The instantiation-arity check was
+    /// discharged during lowering.
+    Static { off: u32, ord: u32, w: TWord },
+    /// Anything else: evaluated and resolved through the heap at
+    /// runtime, exactly as the cursor tier does.
+    Dyn(FastOp),
+}
+
+/// One decoded instruction of the linear IR. Hot operand shapes are
+/// specialized so the dispatch loop is a single match with no nested
+/// operand interpretation.
+#[derive(Clone, Debug)]
+pub(crate) enum BcOp {
+    /// `rd := rs op rt`.
+    ArithRR {
+        op: ArithOp,
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    /// `rd := rs op imm` (constant-folded operand).
+    ArithRI {
+        op: ArithOp,
+        rd: Reg,
+        rs: Reg,
+        imm: i64,
+    },
+    /// Arith with a rare operand shape.
+    ArithDyn {
+        op: ArithOp,
+        rd: Reg,
+        rs: Reg,
+        src: FastOp,
+    },
+    /// `rd := n`.
+    MvInt {
+        rd: Reg,
+        imm: i64,
+    },
+    /// `rd := ()`.
+    MvUnit {
+        rd: Reg,
+    },
+    /// `rd := rs`.
+    MvReg {
+        rd: Reg,
+        rs: Reg,
+    },
+    /// `rd := loc(labels[ord])` — a bare fragment-local location
+    /// literal, pre-resolved to a heap index through the instance's
+    /// label table.
+    MvLbl {
+        rd: Reg,
+        ord: u32,
+    },
+    /// `rd := w` for any other constant word (shared, never rebuilt).
+    MvWord {
+        rd: Reg,
+        w: TWord,
+    },
+    /// `rd := eval(src)` for the rare symbolic shapes.
+    MvDyn {
+        rd: Reg,
+        src: FastOp,
+    },
+    Ld {
+        rd: Reg,
+        rs: Reg,
+        idx: usize,
+    },
+    St {
+        rd: Reg,
+        idx: usize,
+        rs: Reg,
+    },
+    Ralloc {
+        rd: Reg,
+        n: usize,
+    },
+    Balloc {
+        rd: Reg,
+        n: usize,
+    },
+    Salloc(usize),
+    Sfree(usize),
+    Sld {
+        rd: Reg,
+        idx: usize,
+    },
+    Sst {
+        idx: usize,
+        rs: Reg,
+    },
+    Unpack {
+        rd: Reg,
+        src: FastOp,
+    },
+    Unfold {
+        rd: Reg,
+        src: FastOp,
+    },
+    Protect,
+    Import {
+        rd: Reg,
+        ty: Arc<FTy>,
+        body: IExpr,
+    },
+    Bnz {
+        r: Reg,
+        t: BcTarget,
+    },
+    Jmp(BcTarget),
+    Call {
+        t: BcTarget,
+        sigma: Arc<StackTy>,
+        q: Arc<RetMarker>,
+    },
+    Ret {
+        target: Reg,
+        val: Reg,
+    },
+    Halt {
+        val: Reg,
+    },
+    // Superinstructions: the codegen's hot stack idioms, fused by
+    // `fuse_segment` into one dispatch each. Every constituent step
+    // still ticks fuel and emits its own trace event, so step counts,
+    // event streams, and out-of-fuel boundaries are exactly those of
+    // the unfused sequence.
+    /// `salloc 1; sst 0, rs` (2 steps) — push a register.
+    Push {
+        rs: Reg,
+    },
+    /// `salloc 1; sst 0, rs; jmp t` (3 steps) — the call-entry stanza.
+    PushJmp {
+        rs: Reg,
+        t: BcTarget,
+    },
+    /// `sld rd, idx; salloc 1; sst 0, rd` (3 steps) — copy a slot up.
+    SldPush {
+        rd: Reg,
+        idx: usize,
+    },
+    /// `sld pr, 0; sfree 1; arith rd, rs, rt` (3 steps) — pop+combine
+    /// (`pr` is the register the popped word lands in; `rs`/`rt` may
+    /// alias it).
+    PopArith {
+        op: ArithOp,
+        pr: Reg,
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    /// [`BcOp::PopArith`] followed by `salloc 1; sst 0, rd` (5 steps).
+    PopArithPush {
+        op: ArithOp,
+        pr: Reg,
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    /// `sld rd, idx; sfree n` (2 steps) — load a slot, drop a frame.
+    SldSfree {
+        rd: Reg,
+        idx: usize,
+        n: usize,
+    },
+    /// `sld ra, 0; sfree n; ret ra, val` (3 steps) — the full return
+    /// epilogue: pop the return address and jump through it.
+    PopRet {
+        ra: Reg,
+        n: usize,
+        val: Reg,
+    },
+}
+
+/// Sentinel arity for fragment ordinals that are not code blocks
+/// (tuples): never a valid instantiation count, so no static target or
+/// cell binding is ever created for them.
+const NOT_CODE: usize = usize::MAX;
+
+/// A lowered module: the component's entry sequence at offset 0
+/// followed by every fragment block, as one flat op stream. Shared and
+/// immutable (cached per component, reusable across runs and threads).
+#[derive(Debug)]
+pub(crate) struct BcModule {
+    pub(crate) ops: Vec<BcOp>,
+    /// Per-fragment-ordinal `(offset, instantiation arity)`; tuples get
+    /// [`NOT_CODE`].
+    pub(crate) blocks: Vec<(u32, usize)>,
+}
+
+/// A module bound to one merged fragment in one memory: the shared
+/// lowered code plus the flat-heap index of each fragment ordinal and
+/// the F environment `import` bodies close over.
+#[derive(Debug)]
+pub(crate) struct BcInstance {
+    pub(crate) module: Arc<BcModule>,
+    /// Fragment ordinal → flat-heap index.
+    pub(crate) labels: Vec<u32>,
+    pub(crate) env: Env,
+}
+
+/// The per-heap-cell inline cache for cross-fragment entry: which
+/// instance the cell's block belongs to, where its body starts, and
+/// its instantiation arity (checked against the entering word's
+/// pending instantiations).
+#[derive(Clone, Debug)]
+pub(crate) struct BcCell {
+    pub(crate) inst: Rc<BcInstance>,
+    pub(crate) off: u32,
+    pub(crate) arity: u32,
+}
+
+/// A suspended bytecode execution: an instance and a program counter.
+#[derive(Clone, Debug)]
+pub(crate) struct BcCtrl {
+    inst: Rc<BcInstance>,
+    pc: u32,
+}
+
+// ---------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------
+
+/// A fragment cell as the lowerer sees it: label plus the shared block
+/// (`None` for tuples, which occupy an ordinal but lower to nothing).
+type FragCell = (Label, Option<Arc<HeapVal>>);
+
+fn lower_target(
+    u: &funtal_syntax::SmallVal,
+    extra_insts: usize,
+    label_ord: &HashMap<Label, u32>,
+    arities: &[usize],
+) -> BcTarget {
+    let op = lower_op(u);
+    if let FastOp::Word(tw) = &op {
+        if let TWord::Big(b) = tw {
+            let (base, count) = peel_count(b);
+            if let WordVal::Loc(l) = base {
+                if let Some(&ord) = label_ord.get(l) {
+                    if arities[ord as usize] == count + extra_insts {
+                        return BcTarget::Static {
+                            off: 0, // patched after all blocks are lowered
+                            ord,
+                            w: tw.clone(),
+                        };
+                    }
+                }
+            }
+        }
+    }
+    BcTarget::Dyn(op)
+}
+
+fn lower_mv(rd: Reg, src: &funtal_syntax::SmallVal, label_ord: &HashMap<Label, u32>) -> BcOp {
+    match lower_op(src) {
+        FastOp::Reg(rs) => BcOp::MvReg { rd, rs },
+        FastOp::Word(TWord::Int(imm)) => BcOp::MvInt { rd, imm },
+        FastOp::Word(TWord::Unit) => BcOp::MvUnit { rd },
+        FastOp::Word(w) => {
+            if let TWord::Big(b) = &w {
+                if let WordVal::Loc(l) = &**b {
+                    if let Some(&ord) = label_ord.get(l) {
+                        return BcOp::MvLbl { rd, ord };
+                    }
+                }
+            }
+            BcOp::MvWord { rd, w }
+        }
+        src => BcOp::MvDyn { rd, src },
+    }
+}
+
+fn lower_seq(
+    ops: &mut Vec<BcOp>,
+    seq: &InstrSeq,
+    label_ord: &HashMap<Label, u32>,
+    arities: &[usize],
+) {
+    for i in &seq.instrs {
+        let op = match i {
+            Instr::Arith { op, rd, rs, src } => match lower_op(src) {
+                FastOp::Reg(rt) => BcOp::ArithRR {
+                    op: *op,
+                    rd: *rd,
+                    rs: *rs,
+                    rt,
+                },
+                FastOp::Word(TWord::Int(imm)) => BcOp::ArithRI {
+                    op: *op,
+                    rd: *rd,
+                    rs: *rs,
+                    imm,
+                },
+                src => BcOp::ArithDyn {
+                    op: *op,
+                    rd: *rd,
+                    rs: *rs,
+                    src,
+                },
+            },
+            Instr::Bnz { r, target } => BcOp::Bnz {
+                r: *r,
+                t: lower_target(target, 0, label_ord, arities),
+            },
+            Instr::Ld { rd, rs, idx } => BcOp::Ld {
+                rd: *rd,
+                rs: *rs,
+                idx: *idx,
+            },
+            Instr::St { rd, idx, rs } => BcOp::St {
+                rd: *rd,
+                idx: *idx,
+                rs: *rs,
+            },
+            Instr::Ralloc { rd, n } => BcOp::Ralloc { rd: *rd, n: *n },
+            Instr::Balloc { rd, n } => BcOp::Balloc { rd: *rd, n: *n },
+            Instr::Mv { rd, src } => lower_mv(*rd, src, label_ord),
+            Instr::Salloc(n) => BcOp::Salloc(*n),
+            Instr::Sfree(n) => BcOp::Sfree(*n),
+            Instr::Sld { rd, idx } => BcOp::Sld { rd: *rd, idx: *idx },
+            Instr::Sst { idx, rs } => BcOp::Sst { idx: *idx, rs: *rs },
+            Instr::Unpack { rd, src, .. } => BcOp::Unpack {
+                rd: *rd,
+                src: lower_op(src),
+            },
+            Instr::Unfold { rd, src } => BcOp::Unfold {
+                rd: *rd,
+                src: lower_op(src),
+            },
+            Instr::Protect { .. } => BcOp::Protect,
+            Instr::Import { rd, ty, body, .. } => BcOp::Import {
+                rd: *rd,
+                ty: Arc::new(ty.clone()),
+                body: IExpr::from_fexpr(body),
+            },
+        };
+        ops.push(op);
+    }
+    let term = match &seq.term {
+        Terminator::Jmp(u) => BcOp::Jmp(lower_target(u, 0, label_ord, arities)),
+        Terminator::Call { target, sigma, q } => BcOp::Call {
+            // A call's target is instantiated with two extra
+            // instantiations (stack + return marker) at entry.
+            t: lower_target(target, 2, label_ord, arities),
+            sigma: Arc::new(sigma.clone()),
+            q: Arc::new(q.clone()),
+        },
+        Terminator::Ret { target, val } => BcOp::Ret {
+            target: *target,
+            val: *val,
+        },
+        Terminator::Halt { val, .. } => BcOp::Halt { val: *val },
+    };
+    ops.push(term);
+}
+
+/// Peephole pass over one straight-line segment (`ops[from..]`). Safe
+/// because no control transfer ever lands inside a segment — jumps,
+/// calls, and returns always target block starts, and fusion runs
+/// before offsets are recorded. Longest pattern wins.
+fn fuse_segment(ops: &mut Vec<BcOp>, from: usize) {
+    let seg = ops.split_off(from);
+    let mut i = 0;
+    while i < seg.len() {
+        match &seg[i..] {
+            [BcOp::Sld { rd: pr, idx: 0 }, BcOp::Sfree(1), BcOp::ArithRR { op, rd, rs, rt }, BcOp::Salloc(1), BcOp::Sst { idx: 0, rs: rs2 }, ..]
+                if rs2 == rd =>
+            {
+                ops.push(BcOp::PopArithPush {
+                    op: *op,
+                    pr: *pr,
+                    rd: *rd,
+                    rs: *rs,
+                    rt: *rt,
+                });
+                i += 5;
+            }
+            [BcOp::Sld { rd: pr, idx: 0 }, BcOp::Sfree(1), BcOp::ArithRR { op, rd, rs, rt }, ..] => {
+                ops.push(BcOp::PopArith {
+                    op: *op,
+                    pr: *pr,
+                    rd: *rd,
+                    rs: *rs,
+                    rt: *rt,
+                });
+                i += 3;
+            }
+            [BcOp::Sld { rd: ra, idx: 0 }, BcOp::Sfree(n), BcOp::Ret { target, val }, ..]
+                if target == ra && *n >= 1 =>
+            {
+                ops.push(BcOp::PopRet {
+                    ra: *ra,
+                    n: *n,
+                    val: *val,
+                });
+                i += 3;
+            }
+            [BcOp::Sld { rd, idx }, BcOp::Salloc(1), BcOp::Sst { idx: 0, rs }, ..] if rs == rd => {
+                ops.push(BcOp::SldPush { rd: *rd, idx: *idx });
+                i += 3;
+            }
+            [BcOp::Salloc(1), BcOp::Sst { idx: 0, rs }, BcOp::Jmp(t), ..] => {
+                ops.push(BcOp::PushJmp {
+                    rs: *rs,
+                    t: t.clone(),
+                });
+                i += 3;
+            }
+            [BcOp::Sld { rd, idx }, BcOp::Sfree(n), ..] => {
+                ops.push(BcOp::SldSfree {
+                    rd: *rd,
+                    idx: *idx,
+                    n: *n,
+                });
+                i += 2;
+            }
+            [BcOp::Salloc(1), BcOp::Sst { idx: 0, rs }, ..] => {
+                ops.push(BcOp::Push { rs: *rs });
+                i += 2;
+            }
+            rest => {
+                ops.push(rest[0].clone());
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Lowers an entry sequence plus its fragment blocks into one module:
+/// entry at offset 0, blocks appended in fragment (label) order, then
+/// a patch pass resolves every static target to its absolute offset.
+fn lower_module(entry: &InstrSeq, frag: &[FragCell]) -> BcModule {
+    let arities: Vec<usize> = frag
+        .iter()
+        .map(|(_, hv)| match hv.as_deref() {
+            Some(HeapVal::Code(b)) => b.delta.len(),
+            _ => NOT_CODE,
+        })
+        .collect();
+    let label_ord: HashMap<Label, u32> = frag
+        .iter()
+        .enumerate()
+        .map(|(i, (l, _))| (l.clone(), i as u32))
+        .collect();
+    let mut ops = Vec::new();
+    let mut offsets = vec![0u32; frag.len()];
+    lower_seq(&mut ops, entry, &label_ord, &arities);
+    fuse_segment(&mut ops, 0);
+    for (ord, (_, hv)) in frag.iter().enumerate() {
+        offsets[ord] = ops.len() as u32;
+        if let Some(HeapVal::Code(b)) = hv.as_deref() {
+            let from = ops.len();
+            lower_seq(&mut ops, &b.body, &label_ord, &arities);
+            fuse_segment(&mut ops, from);
+        }
+    }
+    for op in &mut ops {
+        if let BcOp::Jmp(t) | BcOp::Bnz { t, .. } | BcOp::Call { t, .. } | BcOp::PushJmp { t, .. } =
+            op
+        {
+            if let BcTarget::Static { off, ord, .. } = t {
+                *off = offsets[*ord as usize];
+            }
+        }
+    }
+    let blocks = offsets.into_iter().zip(arities).collect();
+    BcModule { ops, blocks }
+}
+
+fn frag_cells(heap: &HeapFrag) -> Vec<FragCell> {
+    heap.iter_shared()
+        .map(|(l, hv)| {
+            let cell = match &**hv {
+                HeapVal::Code(_) => Some(hv.clone()),
+                HeapVal::Tuple { .. } => None,
+            };
+            (l.clone(), cell)
+        })
+        .collect()
+}
+
+fn lower_comp(comp: &TComp) -> BcModule {
+    lower_module(&comp.seq, &frag_cells(&comp.heap))
+}
+
+/// Lowers a renamed merge: the module is instance-specific (its labels
+/// embed the collision-renamed names), built from the already-renamed
+/// cells the merge left in the flat heap.
+fn lower_renamed(mem: &FastMem, entry: &InstrSeq, indices: &[u32]) -> BcModule {
+    let frag: Vec<FragCell> = indices
+        .iter()
+        .map(|&i| {
+            let l = mem.names[i as usize].clone();
+            let hv = match &mem.heap[i as usize] {
+                FastHeapVal::Code { hv, .. } => Some(hv.clone()),
+                FastHeapVal::Tuple { .. } => None,
+            };
+            (l, hv)
+        })
+        .collect();
+    lower_module(entry, &frag)
+}
+
+// Lazily lowered single-block modules for cells entered across
+// fragments (translation-allocated closures, `ℓend` blocks, blocks of
+// the initial memory). Keyed by block identity and validated by weak
+// upgrade, like the cursor tier's `SEQ_CACHE`. All targets are dynamic:
+// the same shared block can be bound under different cell names, so no
+// label may be resolved at lower time.
+type BlockModCache = HashMap<usize, (Weak<HeapVal>, Arc<BcModule>)>;
+
+thread_local! {
+    static BC_BLOCK_CACHE: RefCell<BlockModCache> = RefCell::new(HashMap::new());
+}
+
+fn single_block_module(hv: &Arc<HeapVal>) -> Arc<BcModule> {
+    let key = Arc::as_ptr(hv) as usize;
+    BC_BLOCK_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some((weak, m)) = cache.get(&key) {
+            if let Some(live) = weak.upgrade() {
+                if Arc::ptr_eq(&live, hv) {
+                    return m.clone();
+                }
+            }
+        }
+        let HeapVal::Code(block) = &**hv else {
+            unreachable!("single_block_module called on a tuple")
+        };
+        let m = Arc::new(lower_module(&block.body, &[]));
+        if cache.len() >= 4096 {
+            cache.retain(|_, (w, _)| w.upgrade().is_some());
+        }
+        cache.insert(key, (Arc::downgrade(hv), m.clone()));
+        m
+    })
+}
+
+// ---------------------------------------------------------------------
+// The tier
+// ---------------------------------------------------------------------
+
+/// The bytecode T tier: a per-run table of lowered modules keyed by
+/// component identity (seeded from a [`LoweredProgram`] when the driver
+/// pre-lowered the program).
+#[derive(Debug, Default)]
+pub(crate) struct BcTier {
+    modules: HashMap<usize, (Weak<TComp>, Arc<BcModule>)>,
+    /// Direct-mapped cache of resolved `Big`-word jump targets (return
+    /// addresses are the hot case: the same shared `Arc<WordVal>` is
+    /// moved into a register on every call). Keyed by `Arc` identity;
+    /// holding the strong `Arc` rules out ABA reuse of the address.
+    /// Label→index bindings are append-only within a run, so a hit can
+    /// never go stale.
+    big_cache: [Option<(Arc<WordVal>, u32, u32)>; 4],
+}
+
+impl BcTier {
+    fn module_for(&mut self, comp: &Arc<TComp>) -> Arc<BcModule> {
+        let key = Arc::as_ptr(comp) as usize;
+        if let Some((weak, m)) = self.modules.get(&key) {
+            if let Some(live) = weak.upgrade() {
+                if Arc::ptr_eq(&live, comp) {
+                    return m.clone();
+                }
+            }
+        }
+        let m = Arc::new(lower_comp(comp));
+        self.modules.insert(key, (Arc::downgrade(comp), m.clone()));
+        m
+    }
+
+    fn seeded(mods: &[(Arc<TComp>, Arc<BcModule>)]) -> BcTier {
+        BcTier {
+            modules: mods
+                .iter()
+                .map(|(c, m)| (Arc::as_ptr(c) as usize, (Arc::downgrade(c), m.clone())))
+                .collect(),
+            big_cache: Default::default(),
+        }
+    }
+
+    fn cache_slot(b: &Arc<WordVal>) -> usize {
+        (Arc::as_ptr(b) as usize >> 4) & 3
+    }
+}
+
+/// Creates the instance for a freshly merged fragment and binds every
+/// merged code cell's inline cache to it.
+fn bind_instance(
+    mem: &mut FastMem,
+    module: Arc<BcModule>,
+    indices: Vec<u32>,
+    env: Env,
+) -> Rc<BcInstance> {
+    let inst = Rc::new(BcInstance {
+        module,
+        labels: indices,
+        env,
+    });
+    for (ord, &idx) in inst.labels.iter().enumerate() {
+        let (off, arity) = inst.module.blocks[ord];
+        if arity == NOT_CODE {
+            continue;
+        }
+        if let FastHeapVal::Code { bc, .. } = &mut mem.heap[idx as usize] {
+            *bc = Some(BcCell {
+                inst: inst.clone(),
+                off,
+                arity: arity as u32,
+            });
+        }
+    }
+    inst
+}
+
+impl Tier for BcTier {
+    type TCtrl = BcCtrl;
+
+    fn boundary_ctrl(
+        m: &mut Machine<'_, Self>,
+        comp: &Arc<TComp>,
+        env: &Env,
+        merge: MergeOutcome,
+    ) -> BcCtrl {
+        let module = match &merge.renamed_entry {
+            Some(entry) => Arc::new(lower_renamed(&m.mem, entry, &merge.indices)),
+            None => m.tier.module_for(comp),
+        };
+        let inst = bind_instance(&mut m.mem, module, merge.indices, env.clone());
+        BcCtrl { inst, pc: 0 }
+    }
+
+    fn step_t(m: &mut Machine<'_, Self>, t: BcCtrl) -> RResult<Step<Self>> {
+        m.step_bc(t)
+    }
+}
+
+/// What a control transfer resolved to: a new instance (or `None` when
+/// staying in the current one), the offset to jump to, and the target
+/// cell's heap index (for the event label).
+type Transfer = (Option<Rc<BcInstance>>, u32, u32);
+
+impl Machine<'_, BcTier> {
+    /// The dispatch loop entry: monomorphizes on the trace flag so the
+    /// untraced instantiation — the perf-critical one — carries no
+    /// tracer code at all (every `if TRACED` block folds away, and the
+    /// superinstruction arms reduce to their net-effect routes).
+    fn step_bc(&mut self, t: BcCtrl) -> RResult<Step<BcTier>> {
+        if self.trace {
+            self.step_bc_loop::<true>(t)
+        } else {
+            self.step_bc_loop::<false>(t)
+        }
+    }
+
+    /// The dispatch loop. Runs until control leaves T (import, halt,
+    /// boundary exit), an error, or fuel exhaustion — never returning
+    /// to the outer CEK loop for intra-T transfers.
+    fn step_bc_loop<const TRACED: bool>(&mut self, t: BcCtrl) -> RResult<Step<BcTier>> {
+        let BcCtrl { mut inst, mut pc } = t;
+        // Fuel lives in a local for the duration of the loop (a
+        // register instead of a load+store per op). It is synced back
+        // on every `Ok` exit; error exits are terminal, so the
+        // machine's fuel is never observed after them.
+        let mut fuel = self.fuel;
+        macro_rules! tickl {
+            () => {
+                if fuel == 0 {
+                    self.fuel = 0;
+                    return Ok(Step::Done(FtOutcome::OutOfFuel));
+                }
+                fuel -= 1;
+            };
+        }
+        'instance: loop {
+            let module = inst.module.clone();
+            let ops = &module.ops[..];
+            loop {
+                #[cfg(feature = "bc-profile")]
+                profile::count(&ops[pc as usize]);
+                match &ops[pc as usize] {
+                    BcOp::ArithRR { op, rd, rs, rt } => {
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        let a = self.mem.int_reg(*rs)?;
+                        let b = self.mem.int_reg(*rt)?;
+                        self.mem.set_reg(*rd, TWord::Int(op.apply(a, b)));
+                        pc += 1;
+                    }
+                    BcOp::ArithRI { op, rd, rs, imm } => {
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        let a = self.mem.int_reg(*rs)?;
+                        self.mem.set_reg(*rd, TWord::Int(op.apply(a, *imm)));
+                        pc += 1;
+                    }
+                    BcOp::ArithDyn { op, rd, rs, src } => {
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        let a = self.mem.int_reg(*rs)?;
+                        let b = self.mem.as_int(&self.eval_op(src)?)?;
+                        self.mem.set_reg(*rd, TWord::Int(op.apply(a, b)));
+                        pc += 1;
+                    }
+                    BcOp::MvInt { rd, imm } => {
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        self.mem.set_reg(*rd, TWord::Int(*imm));
+                        pc += 1;
+                    }
+                    BcOp::MvUnit { rd } => {
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        self.mem.set_reg(*rd, TWord::Unit);
+                        pc += 1;
+                    }
+                    BcOp::MvReg { rd, rs } => {
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        let w = self.mem.reg(*rs)?.clone();
+                        self.mem.set_reg(*rd, w);
+                        pc += 1;
+                    }
+                    BcOp::MvLbl { rd, ord } => {
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        let idx = inst.labels[*ord as usize];
+                        self.mem.set_reg(*rd, TWord::Loc(idx));
+                        pc += 1;
+                    }
+                    BcOp::MvWord { rd, w } => {
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        self.mem.set_reg(*rd, w.clone());
+                        pc += 1;
+                    }
+                    BcOp::MvDyn { rd, src } => {
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        let w = self.eval_op(src)?;
+                        self.mem.set_reg(*rd, w);
+                        pc += 1;
+                    }
+                    BcOp::Ld { rd, rs, idx } => {
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        let i = self.mem.loc_of(self.mem.reg(*rs)?)?;
+                        let FastHeapVal::Tuple { fields, .. } = &self.mem.heap[i as usize] else {
+                            return Err(RuntimeError::NotTuple(format!(
+                                "{} is code",
+                                self.mem.names[i as usize]
+                            )));
+                        };
+                        let w = fields
+                            .get(*idx)
+                            .ok_or(RuntimeError::BadFieldIndex(*idx))?
+                            .clone();
+                        self.mem.set_reg(*rd, w);
+                        pc += 1;
+                    }
+                    BcOp::St { rd, idx, rs } => {
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        let i = self.mem.loc_of(self.mem.reg(*rd)?)?;
+                        let w = self.mem.reg(*rs)?.clone();
+                        let name = self.mem.names[i as usize].clone();
+                        let FastHeapVal::Tuple { mutability, fields } =
+                            &mut self.mem.heap[i as usize]
+                        else {
+                            return Err(RuntimeError::NotTuple(format!("{name} is code")));
+                        };
+                        if *mutability != Mutability::Ref {
+                            return Err(RuntimeError::ImmutableStore(name));
+                        }
+                        let slot = fields
+                            .get_mut(*idx)
+                            .ok_or(RuntimeError::BadFieldIndex(*idx))?;
+                        *slot = w;
+                        pc += 1;
+                    }
+                    BcOp::Ralloc { rd, n } | BcOp::Balloc { rd, n } => {
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        let fields = self.mem.stack_pop_n(*n)?;
+                        let mutability = if matches!(&ops[pc as usize], BcOp::Ralloc { .. }) {
+                            Mutability::Ref
+                        } else {
+                            Mutability::Boxed
+                        };
+                        let i = self
+                            .mem
+                            .alloc("t", FastHeapVal::Tuple { mutability, fields });
+                        self.mem.set_reg(*rd, TWord::Loc(i));
+                        pc += 1;
+                    }
+                    BcOp::Salloc(n) => {
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        let len = self.mem.stack.len();
+                        self.mem.stack.resize(len + *n, TWord::Unit);
+                        pc += 1;
+                    }
+                    BcOp::Sfree(n) => {
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        self.mem.stack_drop_n(*n)?;
+                        pc += 1;
+                    }
+                    BcOp::Sld { rd, idx } => {
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        let w = self.mem.stack_get(*idx)?.clone();
+                        self.mem.set_reg(*rd, w);
+                        pc += 1;
+                    }
+                    BcOp::Sst { idx, rs } => {
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        let w = self.mem.reg(*rs)?.clone();
+                        self.mem.stack_set(*idx, w)?;
+                        pc += 1;
+                    }
+                    BcOp::Unpack { rd, src } => {
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        let w = self.eval_op(src)?;
+                        let TWord::Big(b) = &w else {
+                            return Err(RuntimeError::NotPack(self.mem.reify_word(&w).to_string()));
+                        };
+                        let WordVal::Pack { body, .. } = &**b else {
+                            return Err(RuntimeError::NotPack(self.mem.reify_word(&w).to_string()));
+                        };
+                        let inner = self.mem.tword_of_word(body);
+                        self.mem.set_reg(*rd, inner);
+                        pc += 1;
+                    }
+                    BcOp::Unfold { rd, src } => {
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        let w = self.eval_op(src)?;
+                        let TWord::Big(b) = &w else {
+                            return Err(RuntimeError::NotFold(self.mem.reify_word(&w).to_string()));
+                        };
+                        let WordVal::Fold { body, .. } = &**b else {
+                            return Err(RuntimeError::NotFold(self.mem.reify_word(&w).to_string()));
+                        };
+                        let inner = self.mem.tword_of_word(body);
+                        self.mem.set_reg(*rd, inner);
+                        pc += 1;
+                    }
+                    BcOp::Protect => {
+                        // Typing-only; still one machine step (no event).
+                        tickl!();
+                        pc += 1;
+                    }
+                    BcOp::Import { rd, ty, body } => {
+                        self.frames.push(Frame::ImportF {
+                            rd: *rd,
+                            ty: ty.clone(),
+                            saved: BcCtrl {
+                                inst: inst.clone(),
+                                pc: pc + 1,
+                            },
+                        });
+                        self.fuel = fuel;
+                        return Ok(Step::Continue(Ctrl::Eval(body.clone(), inst.env.clone())));
+                    }
+                    BcOp::Bnz { r, t } => {
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        if self.mem.int_reg(*r)? != 0 {
+                            let (next, off, idx) = self.take_target(&inst, t, 0, None)?;
+                            if TRACED {
+                                self.tracer.event(&Event::BnzTaken {
+                                    to: self.mem.names[idx as usize].clone(),
+                                });
+                            }
+                            pc = off;
+                            if let Some(n) = next {
+                                inst = n;
+                                continue 'instance;
+                            }
+                        } else {
+                            pc += 1;
+                        }
+                    }
+                    BcOp::Jmp(t) => {
+                        tickl!();
+                        let (next, off, idx) = self.take_target(&inst, t, 0, None)?;
+                        if TRACED {
+                            self.tracer.event(&Event::Jmp {
+                                to: self.mem.names[idx as usize].clone(),
+                            });
+                        }
+                        pc = off;
+                        if let Some(n) = next {
+                            inst = n;
+                            continue 'instance;
+                        }
+                    }
+                    BcOp::Call { t, sigma, q } => {
+                        tickl!();
+                        let (next, off, idx) = self.take_target(&inst, t, 2, Some((sigma, q)))?;
+                        if TRACED {
+                            self.tracer.event(&Event::Call {
+                                to: self.mem.names[idx as usize].clone(),
+                            });
+                        }
+                        pc = off;
+                        if let Some(n) = next {
+                            inst = n;
+                            continue 'instance;
+                        }
+                    }
+                    BcOp::Ret { target, val } => {
+                        tickl!();
+                        let w = self.mem.reg(*target)?.clone();
+                        let (next, off, idx) = self.enter_bc(&inst, &w, 0, None)?;
+                        if TRACED {
+                            self.tracer.event(&Event::Ret {
+                                to: self.mem.names[idx as usize].clone(),
+                                val: *val,
+                            });
+                        }
+                        pc = off;
+                        if let Some(n) = next {
+                            inst = n;
+                            continue 'instance;
+                        }
+                    }
+                    BcOp::Halt { val } => {
+                        self.fuel = fuel;
+                        return self.halt(*val);
+                    }
+                    // Superinstructions. Each arm has two routes with
+                    // identical observable behaviour:
+                    //  - the *net-effect* route, taken when no event can
+                    //    be emitted (`!trace`) and no step can exhaust
+                    //    fuel (`fuel >= k` for a k-step op): one batched
+                    //    fuel debit, effects applied in constituent
+                    //    order, errors propagated exactly as the
+                    //    expansion would raise them (errors are
+                    //    terminal, so post-error memory and fuel are
+                    //    unobservable);
+                    //  - the *faithful* route otherwise: every
+                    //    constituent step ticks, traces, and takes
+                    //    effect in the original order, so fuel
+                    //    exhaustion and event streams land on exactly
+                    //    the same machine state as the unfused sequence.
+                    BcOp::Push { rs } => {
+                        if !TRACED && fuel >= 2 {
+                            fuel -= 2;
+                            let w = self.mem.reg(*rs)?.clone();
+                            self.mem.stack.push(w);
+                        } else {
+                            tickl!();
+                            if TRACED {
+                                self.tracer.event(&Event::Instr);
+                            }
+                            self.mem.stack.push(TWord::Unit);
+                            tickl!();
+                            if TRACED {
+                                self.tracer.event(&Event::Instr);
+                            }
+                            let w = self.mem.reg(*rs)?.clone();
+                            *self.mem.stack.last_mut().expect("just pushed") = w;
+                        }
+                        pc += 1;
+                    }
+                    BcOp::PushJmp { rs, t } => {
+                        if let (false, false, BcTarget::Static { off, .. }) =
+                            (TRACED, self.guard, t)
+                        {
+                            if fuel >= 3 {
+                                fuel -= 3;
+                                let w = self.mem.reg(*rs)?.clone();
+                                self.mem.stack.push(w);
+                                pc = *off;
+                                continue;
+                            }
+                        }
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        self.mem.stack.push(TWord::Unit);
+                        tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
+                        let w = self.mem.reg(*rs)?.clone();
+                        *self.mem.stack.last_mut().expect("just pushed") = w;
+                        tickl!();
+                        let (next, off, idx) = self.take_target(&inst, t, 0, None)?;
+                        if TRACED {
+                            self.tracer.event(&Event::Jmp {
+                                to: self.mem.names[idx as usize].clone(),
+                            });
+                        }
+                        pc = off;
+                        if let Some(n) = next {
+                            inst = n;
+                            continue 'instance;
+                        }
+                    }
+                    BcOp::SldPush { rd, idx } => {
+                        if !TRACED && fuel >= 3 {
+                            fuel -= 3;
+                            let w = self.mem.stack_get(*idx)?.clone();
+                            self.mem.set_reg(*rd, w.clone());
+                            self.mem.stack.push(w);
+                        } else {
+                            tickl!();
+                            if TRACED {
+                                self.tracer.event(&Event::Instr);
+                            }
+                            let w = self.mem.stack_get(*idx)?.clone();
+                            self.mem.set_reg(*rd, w.clone());
+                            tickl!();
+                            if TRACED {
+                                self.tracer.event(&Event::Instr);
+                            }
+                            self.mem.stack.push(TWord::Unit);
+                            tickl!();
+                            if TRACED {
+                                self.tracer.event(&Event::Instr);
+                            }
+                            *self.mem.stack.last_mut().expect("just pushed") = w;
+                        }
+                        pc += 1;
+                    }
+                    BcOp::PopArith { op, pr, rd, rs, rt } => {
+                        if !TRACED && fuel >= 3 {
+                            fuel -= 3;
+                            if self.mem.stack.is_empty() {
+                                self.mem.stack_get(0)?;
+                            }
+                            let w = self.mem.stack.pop().expect("checked non-empty");
+                            self.mem.set_reg(*pr, w);
+                            let a = self.mem.int_reg(*rs)?;
+                            let b = self.mem.int_reg(*rt)?;
+                            self.mem.set_reg(*rd, TWord::Int(op.apply(a, b)));
+                        } else {
+                            tickl!();
+                            if TRACED {
+                                self.tracer.event(&Event::Instr);
+                            }
+                            let w = self.mem.stack_get(0)?.clone();
+                            self.mem.set_reg(*pr, w);
+                            tickl!();
+                            if TRACED {
+                                self.tracer.event(&Event::Instr);
+                            }
+                            self.mem.stack.pop().expect("sld 0 checked depth");
+                            tickl!();
+                            if TRACED {
+                                self.tracer.event(&Event::Instr);
+                            }
+                            let a = self.mem.int_reg(*rs)?;
+                            let b = self.mem.int_reg(*rt)?;
+                            self.mem.set_reg(*rd, TWord::Int(op.apply(a, b)));
+                        }
+                        pc += 1;
+                    }
+                    BcOp::PopArithPush { op, pr, rd, rs, rt } => {
+                        if !TRACED && fuel >= 5 {
+                            fuel -= 5;
+                            if self.mem.stack.is_empty() {
+                                self.mem.stack_get(0)?;
+                            }
+                            let w = self.mem.stack.pop().expect("checked non-empty");
+                            self.mem.set_reg(*pr, w);
+                            let a = self.mem.int_reg(*rs)?;
+                            let b = self.mem.int_reg(*rt)?;
+                            let r = TWord::Int(op.apply(a, b));
+                            self.mem.set_reg(*rd, r.clone());
+                            self.mem.stack.push(r);
+                        } else {
+                            tickl!();
+                            if TRACED {
+                                self.tracer.event(&Event::Instr);
+                            }
+                            let w = self.mem.stack_get(0)?.clone();
+                            self.mem.set_reg(*pr, w);
+                            tickl!();
+                            if TRACED {
+                                self.tracer.event(&Event::Instr);
+                            }
+                            self.mem.stack.pop().expect("sld 0 checked depth");
+                            tickl!();
+                            if TRACED {
+                                self.tracer.event(&Event::Instr);
+                            }
+                            let a = self.mem.int_reg(*rs)?;
+                            let b = self.mem.int_reg(*rt)?;
+                            let r = TWord::Int(op.apply(a, b));
+                            self.mem.set_reg(*rd, r.clone());
+                            tickl!();
+                            if TRACED {
+                                self.tracer.event(&Event::Instr);
+                            }
+                            self.mem.stack.push(TWord::Unit);
+                            tickl!();
+                            if TRACED {
+                                self.tracer.event(&Event::Instr);
+                            }
+                            *self.mem.stack.last_mut().expect("just pushed") = r;
+                        }
+                        pc += 1;
+                    }
+                    BcOp::SldSfree { rd, idx, n } => {
+                        if !TRACED && fuel >= 2 {
+                            fuel -= 2;
+                            let w = self.mem.stack_get(*idx)?.clone();
+                            self.mem.set_reg(*rd, w);
+                            self.mem.stack_drop_n(*n)?;
+                        } else {
+                            tickl!();
+                            if TRACED {
+                                self.tracer.event(&Event::Instr);
+                            }
+                            let w = self.mem.stack_get(*idx)?.clone();
+                            self.mem.set_reg(*rd, w);
+                            tickl!();
+                            if TRACED {
+                                self.tracer.event(&Event::Instr);
+                            }
+                            self.mem.stack_drop_n(*n)?;
+                        }
+                        pc += 1;
+                    }
+                    BcOp::PopRet { ra, n, val } => {
+                        let (next, off, _idx) = if !TRACED && fuel >= 3 {
+                            fuel -= 3;
+                            let len = self.mem.stack.len();
+                            if len == 0 {
+                                self.mem.stack_get(0)?;
+                            }
+                            if len < *n {
+                                self.mem.stack_drop_n(*n)?;
+                            }
+                            // Move the return address out of the stack
+                            // (no refcount traffic), resolve it, then
+                            // park it in `ra` — the register state the
+                            // expansion's `sld` leaves behind.
+                            let w = self.mem.stack.pop().expect("checked non-empty");
+                            self.mem.stack.truncate(len - *n);
+                            let tr = self.enter_bc(&inst, &w, 0, None)?;
+                            self.mem.set_reg(*ra, w);
+                            tr
+                        } else {
+                            tickl!();
+                            if TRACED {
+                                self.tracer.event(&Event::Instr);
+                            }
+                            let w = self.mem.stack_get(0)?.clone();
+                            self.mem.set_reg(*ra, w);
+                            tickl!();
+                            if TRACED {
+                                self.tracer.event(&Event::Instr);
+                            }
+                            self.mem.stack_drop_n(*n)?;
+                            tickl!();
+                            let w = self.mem.reg(*ra)?.clone();
+                            let tr = self.enter_bc(&inst, &w, 0, None)?;
+                            if TRACED {
+                                self.tracer.event(&Event::Ret {
+                                    to: self.mem.names[tr.2 as usize].clone(),
+                                    val: *val,
+                                });
+                            }
+                            tr
+                        };
+                        pc = off;
+                        if let Some(nx) = next {
+                            inst = nx;
+                            continue 'instance;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn take_target(
+        &mut self,
+        cur: &Rc<BcInstance>,
+        t: &BcTarget,
+        extra_insts: usize,
+        call_extra: Option<(&Arc<StackTy>, &Arc<RetMarker>)>,
+    ) -> RResult<Transfer> {
+        match t {
+            BcTarget::Static { off, ord, w } => {
+                if self.guard {
+                    // The guard needs the instantiation contents, so
+                    // static targets take the full entry path.
+                    self.enter_bc(cur, w, extra_insts, call_extra)
+                } else {
+                    Ok((None, *off, cur.labels[*ord as usize]))
+                }
+            }
+            BcTarget::Dyn(op) => {
+                let w = self.eval_op(op)?;
+                self.enter_bc(cur, &w, extra_insts, call_extra)
+            }
+        }
+    }
+
+    /// Resolves a jump-target word through the heap, mirroring the
+    /// cursor tier's `enter` (same resolution, same arity check, same
+    /// guard) but yielding an instance + offset, with the per-cell
+    /// [`BcCell`] as the inline cache.
+    fn enter_bc(
+        &mut self,
+        cur: &Rc<BcInstance>,
+        w: &TWord,
+        extra_insts: usize,
+        call_extra: Option<(&Arc<StackTy>, &Arc<RetMarker>)>,
+    ) -> RResult<Transfer> {
+        let (idx, n_insts, insts) = if self.guard {
+            self.resolve_code(w)?
+        } else if let TWord::Big(b) = w {
+            // Hot Big words (return addresses) resolve through the
+            // direct-mapped cache instead of re-hashing the label.
+            let slot = BcTier::cache_slot(b);
+            match &self.tier.big_cache[slot] {
+                Some((cb, idx, count)) if Arc::ptr_eq(cb, b) => (*idx, *count as usize, None),
+                _ => {
+                    let r = self.resolve_code(w)?;
+                    self.tier.big_cache[slot] = Some((b.clone(), r.0, r.1 as u32));
+                    r
+                }
+            }
+        } else {
+            self.resolve_code(w)?
+        };
+        // Fast path: the cell is bound — a compare, an arity check,
+        // and at most one refcount bump.
+        if !self.guard {
+            if let FastHeapVal::Code { bc: Some(cell), .. } = &self.mem.heap[idx as usize] {
+                if cell.arity as usize != n_insts + extra_insts {
+                    return Err(RuntimeError::BadInstantiation {
+                        expected: cell.arity as usize,
+                        provided: n_insts + extra_insts,
+                    });
+                }
+                let off = cell.off;
+                if Rc::ptr_eq(&cell.inst, cur) {
+                    return Ok((None, off, idx));
+                }
+                return Ok((Some(cell.inst.clone()), off, idx));
+            }
+        }
+        let (hv, benv, cached) = match &self.mem.heap[idx as usize] {
+            FastHeapVal::Code { hv, env, bc, .. } => (hv.clone(), env.clone(), bc.clone()),
+            FastHeapVal::Tuple { .. } => {
+                return Err(RuntimeError::NotCode(format!(
+                    "{} is a tuple",
+                    self.mem.names[idx as usize]
+                )))
+            }
+        };
+        let HeapVal::Code(block) = &*hv else {
+            unreachable!()
+        };
+        if block.delta.len() != n_insts + extra_insts {
+            return Err(RuntimeError::BadInstantiation {
+                expected: block.delta.len(),
+                provided: n_insts + extra_insts,
+            });
+        }
+        let (inst2, off) = match cached {
+            Some(cell) => (cell.inst.clone(), cell.off),
+            None => {
+                // First cross-fragment entry into an unbound cell:
+                // lower (or fetch) its single-block module and bind.
+                let module = single_block_module(&hv);
+                let inst2 = Rc::new(BcInstance {
+                    module,
+                    labels: Vec::new(),
+                    env: benv,
+                });
+                if let FastHeapVal::Code { bc, .. } = &mut self.mem.heap[idx as usize] {
+                    *bc = Some(BcCell {
+                        inst: inst2.clone(),
+                        off: 0,
+                        arity: block.delta.len() as u32,
+                    });
+                }
+                (inst2, 0)
+            }
+        };
+        if self.guard {
+            let mut all_insts = insts.unwrap_or_default();
+            if let Some((sigma, q)) = call_extra {
+                all_insts.push(Inst::Stack((**sigma).clone()));
+                all_insts.push(Inst::Ret((**q).clone()));
+            }
+            let subst = Subst::from_pairs(
+                block
+                    .delta
+                    .iter()
+                    .zip(&all_insts)
+                    .map(|(d, i)| (d.var.clone(), i.clone())),
+            );
+            self.guard_entry(
+                &self.mem.names[idx as usize].clone(),
+                &subst.chi(&block.chi),
+                &subst.stack(&block.sigma),
+            )?;
+        }
+        if Rc::ptr_eq(&inst2, cur) {
+            Ok((None, off, idx))
+        } else {
+            Ok((Some(inst2), off, idx))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+/// Runs an FT component with the bytecode tier, reading the initial
+/// state from `mem` and writing the final state back — observably
+/// identical (outcomes, events, fuel, final memory, fresh labels) to
+/// [`crate::machine_fast::run_fast`] and the substitution oracle.
+pub fn run_bc(
+    mem: &mut Memory,
+    comp: &Component,
+    cfg: RunCfg,
+    tracer: &mut dyn Tracer,
+) -> RResult<FtOutcome> {
+    let fmem = FastMem::from_memory(mem);
+    let mut machine = Machine {
+        mem: fmem,
+        frames: Vec::new(),
+        fuel: cfg.fuel,
+        guard: cfg.guard,
+        trace: tracer.enabled(),
+        tracer,
+        tier: BcTier::default(),
+    };
+    let ctrl = match comp {
+        Component::F(e) => Ctrl::Eval(IExpr::from_fexpr(e), Env::default()),
+        Component::T(c) => {
+            // The merge happens before the step loop (no fuel), as in
+            // the substitution machine's `run`.
+            let merge = machine.mem.merge_fragment(c, &Env::default());
+            let module = match &merge.renamed_entry {
+                Some(entry) => Arc::new(lower_renamed(&machine.mem, entry, &merge.indices)),
+                None => Arc::new(lower_comp(c)),
+            };
+            let inst = bind_instance(&mut machine.mem, module, merge.indices, Env::default());
+            Ctrl::T(BcCtrl { inst, pc: 0 })
+        }
+    };
+    let result = machine.run(ctrl);
+    machine.mem.write_back(mem);
+    result
+}
+
+// ---------------------------------------------------------------------
+// Pre-lowered programs (the driver's cacheable artifact)
+// ---------------------------------------------------------------------
+
+/// A program lowered ahead of time: the interned expression plus the
+/// bytecode module of every embedded T component (including components
+/// nested inside `import` bodies). Shareable across threads and runs —
+/// the driver caches these so warm batch runs skip re-lowering.
+#[derive(Debug)]
+pub struct LoweredProgram {
+    iexpr: IExpr,
+    modules: Vec<(Arc<TComp>, Arc<BcModule>)>,
+}
+
+impl LoweredProgram {
+    /// How many distinct T components were lowered.
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+}
+
+fn collect_modules(
+    e: &IExpr,
+    seen: &mut HashSet<usize>,
+    out: &mut Vec<(Arc<TComp>, Arc<BcModule>)>,
+) {
+    match e.kind() {
+        IKind::Var(_) | IKind::Unit | IKind::Int(_) => {}
+        IKind::Binop { lhs, rhs, .. } => {
+            collect_modules(lhs, seen, out);
+            collect_modules(rhs, seen, out);
+        }
+        IKind::If0 {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            collect_modules(cond, seen, out);
+            collect_modules(then_branch, seen, out);
+            collect_modules(else_branch, seen, out);
+        }
+        IKind::Lam { body, .. } => collect_modules(body, seen, out),
+        IKind::App { func, args } => {
+            collect_modules(func, seen, out);
+            for a in args.iter() {
+                collect_modules(a, seen, out);
+            }
+        }
+        IKind::Fold { body, .. } => collect_modules(body, seen, out),
+        IKind::Unfold(body) => collect_modules(body, seen, out),
+        IKind::Tuple(es) => {
+            for e in es.iter() {
+                collect_modules(e, seen, out);
+            }
+        }
+        IKind::Proj { tuple, .. } => collect_modules(tuple, seen, out),
+        IKind::Boundary { comp, .. } => {
+            if seen.insert(Arc::as_ptr(comp) as usize) {
+                let module = Arc::new(lower_comp(comp));
+                // Import bodies may embed further boundaries; their
+                // components were freshly shared during lowering, so
+                // walk the lowered ops to reach them.
+                for op in &module.ops {
+                    if let BcOp::Import { body, .. } = op {
+                        collect_modules(body, seen, out);
+                    }
+                }
+                out.push((comp.clone(), module));
+            }
+        }
+    }
+}
+
+/// Lowers a closed F expression ahead of time: interns it and lowers
+/// every embedded T component to bytecode. The result is `Send + Sync`
+/// and reusable across runs and worker threads.
+pub fn prelower(e: &FExpr) -> LoweredProgram {
+    let iexpr = IExpr::from_fexpr(e);
+    let mut seen = HashSet::new();
+    let mut modules = Vec::new();
+    collect_modules(&iexpr, &mut seen, &mut modules);
+    LoweredProgram { iexpr, modules }
+}
+
+/// Runs a pre-lowered program in a fresh memory with the bytecode
+/// tier, seeding the module table so no component is re-lowered.
+/// Observably identical to running the original expression through
+/// [`crate::machine::run_fexpr`] under any strategy.
+pub fn run_prelowered(
+    lp: &LoweredProgram,
+    cfg: RunCfg,
+    tracer: &mut dyn Tracer,
+) -> RResult<FtOutcome> {
+    let mem = Memory::new();
+    let fmem = FastMem::from_memory(&mem);
+    let mut machine = Machine {
+        mem: fmem,
+        frames: Vec::new(),
+        fuel: cfg.fuel,
+        guard: cfg.guard,
+        trace: tracer.enabled(),
+        tracer,
+        tier: BcTier::seeded(&lp.modules),
+    };
+    machine.run(Ctrl::Eval(lp.iexpr.clone(), Env::default()))
+}
+
+#[cfg(feature = "bc-profile")]
+pub mod profile {
+    //! Temporary opcode histogram (feature-gated, off by default).
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    thread_local! {
+        static COUNTS: RefCell<HashMap<&'static str, u64>> = RefCell::new(HashMap::new());
+    }
+    pub(crate) fn count(op: &super::BcOp) {
+        let name: &'static str = match op {
+            super::BcOp::ArithRR { .. } => "ArithRR",
+            super::BcOp::ArithRI { .. } => "ArithRI",
+            super::BcOp::ArithDyn { .. } => "ArithDyn",
+            super::BcOp::MvInt { .. } => "MvInt",
+            super::BcOp::MvUnit { .. } => "MvUnit",
+            super::BcOp::MvReg { .. } => "MvReg",
+            super::BcOp::MvLbl { .. } => "MvLbl",
+            super::BcOp::MvWord { .. } => "MvWord",
+            super::BcOp::MvDyn { .. } => "MvDyn",
+            super::BcOp::Ld { .. } => "Ld",
+            super::BcOp::St { .. } => "St",
+            super::BcOp::Ralloc { .. } => "Ralloc",
+            super::BcOp::Balloc { .. } => "Balloc",
+            super::BcOp::Salloc(_) => "Salloc",
+            super::BcOp::Sfree(_) => "Sfree",
+            super::BcOp::Sld { .. } => "Sld",
+            super::BcOp::Sst { .. } => "Sst",
+            super::BcOp::Unpack { .. } => "Unpack",
+            super::BcOp::Unfold { .. } => "Unfold",
+            super::BcOp::Protect => "Protect",
+            super::BcOp::Import { .. } => "Import",
+            super::BcOp::Bnz { .. } => "Bnz",
+            super::BcOp::Jmp(_) => "Jmp",
+            super::BcOp::Call { .. } => "Call",
+            super::BcOp::Ret { .. } => "Ret",
+            super::BcOp::Halt { .. } => "Halt",
+            super::BcOp::Push { .. } => "Push",
+            super::BcOp::PushJmp { .. } => "PushJmp",
+            super::BcOp::SldPush { .. } => "SldPush",
+            super::BcOp::PopArith { .. } => "PopArith",
+            super::BcOp::PopArithPush { .. } => "PopArithPush",
+            super::BcOp::SldSfree { .. } => "SldSfree",
+            super::BcOp::PopRet { .. } => "PopRet",
+        };
+        COUNTS.with(|c| *c.borrow_mut().entry(name).or_insert(0) += 1);
+    }
+    /// Prints every lowered module of a program (dev profiling).
+    pub fn dump_modules(lp: &super::LoweredProgram) {
+        for (i, (_, m)) in lp.modules.iter().enumerate() {
+            eprintln!("module {i}: blocks {:?}", m.blocks);
+            for (off, op) in m.ops.iter().enumerate() {
+                eprintln!("  {off:4}: {op:?}");
+            }
+        }
+    }
+
+    /// Dumps and clears the histogram.
+    pub fn dump() {
+        COUNTS.with(|c| {
+            let mut v: Vec<_> = c.borrow().iter().map(|(k, n)| (*n, *k)).collect();
+            v.sort_unstable_by(|a, b| b.cmp(a));
+            let total: u64 = v.iter().map(|(n, _)| n).sum();
+            eprintln!("total ops: {total}");
+            for (n, k) in v {
+                eprintln!("{k:>10} {n:>10} ({:.1}%)", 100.0 * n as f64 / total as f64);
+            }
+            c.borrow_mut().clear();
+        });
+    }
+}

@@ -62,16 +62,18 @@ pub enum TWord {
 
 /// A heap cell of the flat heap.
 #[derive(Debug)]
-enum FastHeapVal {
+pub(crate) enum FastHeapVal {
     /// A code block, shared with the syntax tree; `seq` caches its
-    /// compiled form after first entry and `env` is the F environment
-    /// captured when the block was merged (the substitution machine
-    /// substitutes those values into `import` bodies at β time; the
-    /// environment machine defers the lookup to execution).
+    /// compiled form after first entry (cursor tier), `bc` caches the
+    /// lowered bytecode entry point (bytecode tier), and `env` is the F
+    /// environment captured when the block was merged (the substitution
+    /// machine substitutes those values into `import` bodies at β time;
+    /// the environment machine defers the lookup to execution).
     Code {
         hv: Arc<HeapVal>,
         seq: Option<Rc<FastSeq>>,
         env: Env,
+        bc: Option<crate::machine_bc::BcCell>,
     },
     /// A tuple of fast words (`st` mutates in place).
     Tuple {
@@ -85,15 +87,15 @@ enum FastHeapVal {
 /// exactly so both strategies allocate identical labels.
 #[derive(Debug, Default)]
 pub struct FastMem {
-    heap: Vec<FastHeapVal>,
-    index: HashMap<Label, u32>,
-    names: Vec<Label>,
-    regs: [Option<TWord>; 8],
-    stack: Vec<TWord>,
-    next_fresh: u64,
+    pub(crate) heap: Vec<FastHeapVal>,
+    pub(crate) index: HashMap<Label, u32>,
+    pub(crate) names: Vec<Label>,
+    pub(crate) regs: [Option<TWord>; 8],
+    pub(crate) stack: Vec<TWord>,
+    pub(crate) next_fresh: u64,
     /// Unique per instance (per thread); validates the inline caches
     /// baked into shared compiled sequences.
-    id: u64,
+    pub(crate) id: u64,
 }
 
 thread_local! {
@@ -108,12 +110,12 @@ fn next_mem_id() -> u64 {
     })
 }
 
-fn ridx(r: Reg) -> usize {
+pub(crate) fn ridx(r: Reg) -> usize {
     r as usize
 }
 
 impl FastMem {
-    fn from_memory(mem: &Memory) -> FastMem {
+    pub(crate) fn from_memory(mem: &Memory) -> FastMem {
         let mut fm = FastMem {
             next_fresh: mem.fresh_counter(),
             id: next_mem_id(),
@@ -141,7 +143,7 @@ impl FastMem {
         fm
     }
 
-    fn write_back(&self, mem: &mut Memory) {
+    pub(crate) fn write_back(&self, mem: &mut Memory) {
         mem.heap = self
             .names
             .iter()
@@ -200,7 +202,7 @@ impl FastMem {
 
     /// Registers a label, returning its index. Pre-existing labels keep
     /// their slot.
-    fn intern(&mut self, l: Label) -> u32 {
+    pub(crate) fn intern(&mut self, l: Label) -> u32 {
         if let Some(i) = self.index.get(&l) {
             return *i;
         }
@@ -220,6 +222,7 @@ impl FastMem {
                 hv: hv.clone(),
                 seq: None,
                 env: env.clone(),
+                bc: None,
             },
             HeapVal::Tuple { mutability, fields } => FastHeapVal::Tuple {
                 mutability: *mutability,
@@ -229,7 +232,7 @@ impl FastMem {
     }
 
     /// Converts a syntax-level word, resolving known labels to indices.
-    fn tword_of_word(&self, w: &WordVal) -> TWord {
+    pub(crate) fn tword_of_word(&self, w: &WordVal) -> TWord {
         match w {
             WordVal::Unit => TWord::Unit,
             WordVal::Int(n) => TWord::Int(*n),
@@ -242,7 +245,7 @@ impl FastMem {
     }
 
     /// Reifies a fast word back to the syntax-level form.
-    fn reify_word(&self, w: &TWord) -> WordVal {
+    pub(crate) fn reify_word(&self, w: &TWord) -> WordVal {
         match w {
             TWord::Unit => WordVal::Unit,
             TWord::Int(n) => WordVal::Int(*n),
@@ -251,31 +254,31 @@ impl FastMem {
         }
     }
 
-    fn reg(&self, r: Reg) -> RResult<&TWord> {
+    pub(crate) fn reg(&self, r: Reg) -> RResult<&TWord> {
         self.regs[ridx(r)]
             .as_ref()
             .ok_or(RuntimeError::UnboundReg(r))
     }
 
-    fn set_reg(&mut self, r: Reg, w: TWord) {
+    pub(crate) fn set_reg(&mut self, r: Reg, w: TWord) {
         self.regs[ridx(r)] = Some(w);
     }
 
     /// Mirrors [`Memory::fresh_label`] exactly.
-    fn fresh_label(&mut self, hint: &str) -> Label {
+    pub(crate) fn fresh_label(&mut self, hint: &str) -> Label {
         let n = self.next_fresh;
         self.next_fresh += 1;
         Label::new(format!("{hint}${n}"))
     }
 
-    fn alloc(&mut self, hint: &str, hv: FastHeapVal) -> u32 {
+    pub(crate) fn alloc(&mut self, hint: &str, hv: FastHeapVal) -> u32 {
         let l = self.fresh_label(hint);
         let i = self.intern(l);
         self.heap[i as usize] = hv;
         i
     }
 
-    fn loc_of(&self, w: &TWord) -> RResult<u32> {
+    pub(crate) fn loc_of(&self, w: &TWord) -> RResult<u32> {
         match w {
             TWord::Loc(i) => Ok(*i),
             TWord::Big(b) => match &**b {
@@ -290,14 +293,24 @@ impl FastMem {
         }
     }
 
-    fn as_int(&self, w: &TWord) -> RResult<i64> {
+    /// Reads a register that must hold an integer without cloning the
+    /// word — the bytecode tier's arithmetic fast path.
+    pub(crate) fn int_reg(&self, r: Reg) -> RResult<i64> {
+        match &self.regs[ridx(r)] {
+            Some(TWord::Int(n)) => Ok(*n),
+            Some(w) => Err(RuntimeError::NotInt(self.reify_word(w).to_string())),
+            None => Err(RuntimeError::UnboundReg(r)),
+        }
+    }
+
+    pub(crate) fn as_int(&self, w: &TWord) -> RResult<i64> {
         match w {
             TWord::Int(n) => Ok(*n),
             other => Err(RuntimeError::NotInt(self.reify_word(other).to_string())),
         }
     }
 
-    fn stack_pop_n(&mut self, n: usize) -> RResult<Vec<TWord>> {
+    pub(crate) fn stack_pop_n(&mut self, n: usize) -> RResult<Vec<TWord>> {
         if self.stack.len() < n {
             return Err(RuntimeError::StackUnderflow {
                 need: n,
@@ -311,7 +324,20 @@ impl FastMem {
         Ok(out)
     }
 
-    fn stack_get(&self, i: usize) -> RResult<&TWord> {
+    /// Pops `n` words without materializing them — `sfree`'s fast path
+    /// (no intermediate `Vec`).
+    pub(crate) fn stack_drop_n(&mut self, n: usize) -> RResult<()> {
+        if self.stack.len() < n {
+            return Err(RuntimeError::StackUnderflow {
+                need: n,
+                have: self.stack.len(),
+            });
+        }
+        self.stack.truncate(self.stack.len() - n);
+        Ok(())
+    }
+
+    pub(crate) fn stack_get(&self, i: usize) -> RResult<&TWord> {
         let len = self.stack.len();
         if i < len {
             Ok(&self.stack[len - 1 - i])
@@ -320,7 +346,7 @@ impl FastMem {
         }
     }
 
-    fn stack_set(&mut self, i: usize, w: TWord) -> RResult<()> {
+    pub(crate) fn stack_set(&mut self, i: usize, w: TWord) -> RResult<()> {
         let len = self.stack.len();
         if i < len {
             self.stack[len - 1 - i] = w;
@@ -332,13 +358,15 @@ impl FastMem {
 
     /// Merges a fragment's blocks into the flat heap, mirroring
     /// [`Memory::merge_fragment`] (same collision detection, same
-    /// fresh names, same sharing of untouched blocks). Returns `None`
-    /// when no label collided (the entry sequence is `comp.seq`
-    /// verbatim, so the caller can reuse a cached compilation) and the
-    /// renamed entry sequence otherwise.
-    fn merge_fragment(&mut self, comp: &TComp, env: &Env) -> Option<InstrSeq> {
+    /// fresh names, same sharing of untouched blocks). The outcome
+    /// carries the renamed entry sequence when a label collided
+    /// (`renamed_entry: None` means the entry is `comp.seq` verbatim,
+    /// so the caller can reuse a cached compilation) plus the flat-heap
+    /// index of each merged block in fragment order, which the bytecode
+    /// tier uses to bind lower-time block ordinals to this instance.
+    pub(crate) fn merge_fragment(&mut self, comp: &TComp, env: &Env) -> MergeOutcome {
         if comp.heap.is_empty() {
-            return None;
+            return MergeOutcome::default();
         }
         let colliding: Vec<Label> = comp
             .heap
@@ -353,6 +381,7 @@ impl FastMem {
                 (l, fresh)
             })
             .collect();
+        let mut indices = Vec::with_capacity(comp.heap.0.len());
         for (l, hv) in comp.heap.iter_shared() {
             let shared = if renaming.is_empty() {
                 hv.clone()
@@ -363,13 +392,27 @@ impl FastMem {
             let idx = self.intern(target);
             let converted = self.convert_heap_val(&shared, env);
             self.heap[idx as usize] = converted;
+            indices.push(idx);
         }
-        if renaming.is_empty() {
+        let renamed_entry = if renaming.is_empty() {
             None
         } else {
             Some(rename_seq(&comp.seq, &renaming))
+        };
+        MergeOutcome {
+            renamed_entry,
+            indices,
         }
     }
+}
+
+/// What merging a fragment did: the renamed entry sequence (when a
+/// label collided) and the flat-heap index of every merged block, in
+/// fragment order.
+#[derive(Debug, Default)]
+pub(crate) struct MergeOutcome {
+    pub(crate) renamed_entry: Option<InstrSeq>,
+    pub(crate) indices: Vec<u32>,
 }
 
 // ---------------------------------------------------------------------
@@ -381,7 +424,7 @@ impl FastMem {
 /// conversion shares one interned word per instruction), and only the
 /// rare pack/fold/inst shapes stay symbolic.
 #[derive(Clone, Debug)]
-enum FastOp {
+pub(crate) enum FastOp {
     Reg(Reg),
     Word(TWord),
     Dyn(Arc<SmallVal>),
@@ -487,7 +530,7 @@ enum FastTerm {
 /// terminator, independent of any particular memory (so it is cached
 /// per code block, across runs).
 #[derive(Debug)]
-struct FastSeq {
+pub(crate) struct FastSeq {
     instrs: Vec<FastInstr>,
     term: FastTerm,
 }
@@ -496,7 +539,7 @@ struct FastSeq {
 /// (the common case for jump targets and instantiated continuations),
 /// so the hot path shares one interned word instead of rebuilding the
 /// instantiation spine on every execution.
-fn const_small(u: &SmallVal) -> Option<WordVal> {
+pub(crate) fn const_small(u: &SmallVal) -> Option<WordVal> {
     match u {
         SmallVal::Reg(_) => None,
         SmallVal::Word(w) => Some(w.clone()),
@@ -513,7 +556,7 @@ fn const_small(u: &SmallVal) -> Option<WordVal> {
     }
 }
 
-fn lower_op(u: &SmallVal) -> FastOp {
+pub(crate) fn lower_op(u: &SmallVal) -> FastOp {
     match u {
         SmallVal::Reg(r) => FastOp::Reg(*r),
         other => match const_small(other) {
@@ -709,7 +752,7 @@ struct EnvFrame {
 
 /// A persistent environment: a chain of frames, cloned by reference.
 #[derive(Clone, Debug, Default)]
-struct Env(Option<Rc<EnvFrame>>);
+pub(crate) struct Env(Option<Rc<EnvFrame>>);
 
 impl Env {
     fn is_empty(&self) -> bool {
@@ -735,18 +778,44 @@ impl Env {
     }
 }
 
-/// A suspended T execution: a compiled sequence plus a program counter.
+/// A suspended cursor-tier T execution: a compiled sequence plus a
+/// program counter.
 #[derive(Clone, Debug)]
-struct TCtrl {
+pub(crate) struct TCtrl {
     seq: Rc<FastSeq>,
     pc: usize,
     /// The F environment `import` bodies in this sequence close over.
     env: Env,
 }
 
+/// A T execution tier: how the shared F-side machine represents and
+/// steps suspended T code. The cursor tier ([`CursorTier`]) walks
+/// per-block compiled sequences; the bytecode tier
+/// ([`crate::machine_bc::BcTier`]) dispatches over a flat lowered
+/// instruction stream. Both plug into the same CEK machine, so the
+/// F side — and with it fuel accounting, events, and boundary
+/// translation — is identical by construction.
+pub(crate) trait Tier: Sized {
+    /// A suspended T execution for this tier.
+    type TCtrl;
+
+    /// Builds the T control for a boundary entry. `merge` is the
+    /// result of merging the component's heap fragment (already
+    /// performed, and already ticked/traced, by the shared machine).
+    fn boundary_ctrl(
+        m: &mut Machine<'_, Self>,
+        comp: &Arc<TComp>,
+        env: &Env,
+        merge: MergeOutcome,
+    ) -> Self::TCtrl;
+
+    /// Runs T code until control leaves the tier (an import, a halt,
+    /// an error, or fuel exhaustion).
+    fn step_t(m: &mut Machine<'_, Self>, t: Self::TCtrl) -> RResult<Step<Self>>;
+}
+
 /// One continuation frame of the mixed machine.
-#[derive(Debug)]
-enum Frame {
+pub(crate) enum Frame<T: Tier> {
     BinopL {
         op: ArithOp,
         rhs: IExpr,
@@ -792,14 +861,14 @@ enum Frame {
     ImportF {
         rd: Reg,
         ty: Arc<FTy>,
-        saved: TCtrl,
+        saved: T::TCtrl,
     },
 }
 
-enum Ctrl {
+pub(crate) enum Ctrl<T: Tier> {
     Eval(IExpr, Env),
     Ret(FastVal),
-    T(TCtrl),
+    T(T::TCtrl),
 }
 
 // ---------------------------------------------------------------------
@@ -928,6 +997,7 @@ fn f_to_t_fast(mem: &mut FastMem, v: &FastVal, ty: &FTy) -> RResult<TWord> {
                     hv: Arc::new(HeapVal::Code(block)),
                     seq: None,
                     env: Env::default(),
+                    bc: None,
                 },
             );
             Ok(TWord::Loc(i))
@@ -1039,6 +1109,7 @@ fn t_to_f_fast(mem: &mut FastMem, w: &TWord, ty: &FTy) -> RResult<FastVal> {
                 hv: end_hv,
                 seq: None,
                 env: Env::default(),
+                bc: None,
             };
             Ok(FastVal::Clos(Rc::new(Closure {
                 lam,
@@ -1056,15 +1127,17 @@ fn t_to_f_fast(mem: &mut FastMem, w: &TWord, ty: &FTy) -> RResult<FastVal> {
 // The machine
 // ---------------------------------------------------------------------
 
-struct Machine<'t> {
-    mem: FastMem,
-    frames: Vec<Frame>,
-    fuel: u64,
-    guard: bool,
+pub(crate) struct Machine<'t, T: Tier> {
+    pub(crate) mem: FastMem,
+    pub(crate) frames: Vec<Frame<T>>,
+    pub(crate) fuel: u64,
+    pub(crate) guard: bool,
     /// Cached `tracer.enabled()`: lets the hot loops skip event
     /// construction (label clones) when nobody is listening.
-    trace: bool,
-    tracer: &'t mut dyn Tracer,
+    pub(crate) trace: bool,
+    pub(crate) tracer: &'t mut dyn Tracer,
+    /// Tier-local state (e.g. the bytecode tier's module table).
+    pub(crate) tier: T,
 }
 
 macro_rules! tick {
@@ -1076,8 +1149,8 @@ macro_rules! tick {
     };
 }
 
-enum Step {
-    Continue(Ctrl),
+pub(crate) enum Step<T: Tier> {
+    Continue(Ctrl<T>),
     Done(FtOutcome),
 }
 
@@ -1090,13 +1163,13 @@ enum Shape {
     Other,
 }
 
-impl Machine<'_> {
-    fn run(&mut self, mut ctrl: Ctrl) -> RResult<FtOutcome> {
+impl<T: Tier> Machine<'_, T> {
+    pub(crate) fn run(&mut self, mut ctrl: Ctrl<T>) -> RResult<FtOutcome> {
         loop {
             let step = match ctrl {
                 Ctrl::Eval(e, env) => self.eval(e, env)?,
                 Ctrl::Ret(v) => self.ret(v)?,
-                Ctrl::T(t) => self.step_t(t)?,
+                Ctrl::T(t) => T::step_t(self, t)?,
             };
             match step {
                 Step::Continue(next) => ctrl = next,
@@ -1105,7 +1178,7 @@ impl Machine<'_> {
         }
     }
 
-    fn eval(&mut self, e: IExpr, env: Env) -> RResult<Step> {
+    fn eval(&mut self, e: IExpr, env: Env) -> RResult<Step<T>> {
         let next = match e.kind() {
             IKind::Var(x) => match env.lookup(x) {
                 Some(v) => Ctrl::Ret(v.clone()),
@@ -1170,8 +1243,8 @@ impl Machine<'_> {
             }
             IKind::Boundary { ty, comp, .. } => {
                 // Fig 8: the fragment merge is one machine step.
-                let renamed = if comp.heap.is_empty() {
-                    None
+                let merge = if comp.heap.is_empty() {
+                    MergeOutcome::default()
                 } else {
                     tick!(self);
                     if self.trace {
@@ -1180,20 +1253,15 @@ impl Machine<'_> {
                     }
                     self.mem.merge_fragment(comp, &env)
                 };
-                // When no label was renamed the entry is the shared
-                // component's own sequence: reuse its cached compile.
-                let seq = match renamed {
-                    Some(entry) => Rc::new(compile_seq(&entry)),
-                    None => compiled_entry(comp),
-                };
+                let t = T::boundary_ctrl(self, comp, &env, merge);
                 self.frames.push(Frame::BoundaryT { ty: ty.clone() });
-                Ctrl::T(TCtrl { seq, pc: 0, env })
+                Ctrl::T(t)
             }
         };
         Ok(Step::Continue(next))
     }
 
-    fn ret(&mut self, v: FastVal) -> RResult<Step> {
+    fn ret(&mut self, v: FastVal) -> RResult<Step<T>> {
         let Some(frame) = self.frames.pop() else {
             return Ok(Step::Done(FtOutcome::Value(reify_val(&v))));
         };
@@ -1335,7 +1403,7 @@ impl Machine<'_> {
         Ok(Step::Continue(next))
     }
 
-    fn beta(&mut self, func: FastVal, args: Vec<FastVal>) -> RResult<Step> {
+    fn beta(&mut self, func: FastVal, args: Vec<FastVal>) -> RResult<Step<T>> {
         let FastVal::Clos(c) = &func else {
             return Err(RuntimeError::Stuck(format!(
                 "applying a non-function: {}",
@@ -1358,9 +1426,12 @@ impl Machine<'_> {
         Ok(Step::Continue(Ctrl::Eval(body.clone(), env)))
     }
 
-    // --- the T executor ---------------------------------------------------
+    // --- the T executor (cursor tier) -------------------------------------
 
-    fn step_t(&mut self, t: TCtrl) -> RResult<Step> {
+    fn step_t(&mut self, t: TCtrl) -> RResult<Step<T>>
+    where
+        T: Tier<TCtrl = TCtrl>,
+    {
         let TCtrl { seq, mut pc, env } = t;
         // Straight-line instructions loop here without re-entering the
         // dispatcher; control effects fall out to the match below.
@@ -1463,7 +1534,7 @@ impl Machine<'_> {
         }
     }
 
-    fn halt(&mut self, val: Reg) -> RResult<Step> {
+    pub(crate) fn halt(&mut self, val: Reg) -> RResult<Step<T>> {
         match self.frames.last() {
             Some(Frame::BoundaryT { .. }) => {
                 // Fig 8: a boundary around a halt value translates —
@@ -1496,7 +1567,7 @@ impl Machine<'_> {
         }
     }
 
-    fn eval_op(&self, op: &FastOp) -> RResult<TWord> {
+    pub(crate) fn eval_op(&self, op: &FastOp) -> RResult<TWord> {
         match op {
             FastOp::Reg(r) => self.mem.reg(*r).cloned(),
             FastOp::Word(w) => Ok(w.clone()),
@@ -1554,29 +1625,12 @@ impl Machine<'_> {
         Ok(out)
     }
 
-    /// Resolves a jump-target word to a block, arity-checks its
-    /// instantiation, optionally runs the dynamic guard, and returns
-    /// the compiled body plus the target label.
-    fn enter(
-        &mut self,
-        w: &TWord,
-        extra_insts: usize,
-        call_extra: Option<(&Arc<StackTy>, &Arc<funtal_syntax::RetMarker>)>,
-    ) -> RResult<(Rc<FastSeq>, Env, u32)> {
-        // Count pending instantiations without cloning them; the
-        // machine is type-erasing, so their content matters only to
-        // the (opt-in) dynamic guard.
-        fn peel_count(w: &WordVal) -> (&WordVal, usize) {
-            match w {
-                WordVal::Inst { body, args } => {
-                    let (base, n) = peel_count(body);
-                    (base, n + args.len())
-                }
-                other => (other, 0),
-            }
-        }
-        let (idx, n_insts, insts): (u32, usize, Option<Vec<Inst>>) = match w {
-            TWord::Loc(i) => (*i, 0, None),
+    /// Resolves a jump-target word to its flat-heap index, counting
+    /// pending instantiations (and collecting them when the dynamic
+    /// guard needs their content). Shared by every tier's block entry.
+    pub(crate) fn resolve_code(&self, w: &TWord) -> RResult<(u32, usize, Option<Vec<Inst>>)> {
+        match w {
+            TWord::Loc(i) => Ok((*i, 0, None)),
             TWord::Big(b) => {
                 let (base, count) = peel_count(b);
                 match base {
@@ -1588,17 +1642,27 @@ impl Machine<'_> {
                             .copied()
                             .ok_or_else(|| RuntimeError::UnboundLabel(l.clone()))?;
                         let insts = self.guard.then(|| b.peel_insts().1);
-                        (i, count, insts)
+                        Ok((i, count, insts))
                     }
-                    other => return Err(RuntimeError::NotCode(other.to_string())),
+                    other => Err(RuntimeError::NotCode(other.to_string())),
                 }
             }
-            other => {
-                return Err(RuntimeError::NotCode(
-                    self.mem.reify_word(other).to_string(),
-                ))
-            }
-        };
+            other => Err(RuntimeError::NotCode(
+                self.mem.reify_word(other).to_string(),
+            )),
+        }
+    }
+
+    /// Resolves a jump-target word to a block, arity-checks its
+    /// instantiation, optionally runs the dynamic guard, and returns
+    /// the compiled body plus the target label.
+    fn enter(
+        &mut self,
+        w: &TWord,
+        extra_insts: usize,
+        call_extra: Option<(&Arc<StackTy>, &Arc<funtal_syntax::RetMarker>)>,
+    ) -> RResult<(Rc<FastSeq>, Env, u32)> {
+        let (idx, n_insts, insts) = self.resolve_code(w)?;
         // Fast path: the block is already compiled — two refcount
         // bumps and an arity check, no allocation.
         match &self.mem.heap[idx as usize] {
@@ -1606,6 +1670,7 @@ impl Machine<'_> {
                 hv,
                 seq: Some(s),
                 env,
+                ..
             } if !self.guard => {
                 let HeapVal::Code(block) = &**hv else {
                     unreachable!()
@@ -1621,7 +1686,7 @@ impl Machine<'_> {
             _ => {}
         }
         let (hv, cached, benv) = match &self.mem.heap[idx as usize] {
-            FastHeapVal::Code { hv, seq, env } => (hv.clone(), seq.clone(), env.clone()),
+            FastHeapVal::Code { hv, seq, env, .. } => (hv.clone(), seq.clone(), env.clone()),
             FastHeapVal::Tuple { .. } => {
                 return Err(RuntimeError::NotCode(format!(
                     "{} is a tuple",
@@ -1642,11 +1707,9 @@ impl Machine<'_> {
             Some(s) => s,
             None => {
                 let s = compiled_block(&hv);
-                self.mem.heap[idx as usize] = FastHeapVal::Code {
-                    hv: hv.clone(),
-                    seq: Some(s.clone()),
-                    env: benv.clone(),
-                };
+                if let FastHeapVal::Code { seq, .. } = &mut self.mem.heap[idx as usize] {
+                    *seq = Some(s.clone());
+                }
                 s
             }
         };
@@ -1674,7 +1737,7 @@ impl Machine<'_> {
 
     /// The dynamic type-safety guard over fast words, mirroring the
     /// shape checks of the substitution machine.
-    fn guard_entry(
+    pub(crate) fn guard_entry(
         &self,
         label: &Label,
         chi: &funtal_syntax::RegFileTy,
@@ -1783,12 +1846,11 @@ impl Machine<'_> {
                 self.mem.set_reg(*rd, w);
             }
             FastInstr::Salloc(n) => {
-                for _ in 0..*n {
-                    self.mem.stack.push(TWord::Unit);
-                }
+                let len = self.mem.stack.len();
+                self.mem.stack.resize(len + *n, TWord::Unit);
             }
             FastInstr::Sfree(n) => {
-                self.mem.stack_pop_n(*n)?;
+                self.mem.stack_drop_n(*n)?;
             }
             FastInstr::Sld { rd, idx } => {
                 let w = self.mem.stack_get(*idx)?.clone();
@@ -1828,6 +1890,54 @@ impl Machine<'_> {
     }
 }
 
+/// Counts pending instantiations without cloning them; the machine is
+/// type-erasing, so their content matters only to the (opt-in) dynamic
+/// guard.
+pub(crate) fn peel_count(w: &WordVal) -> (&WordVal, usize) {
+    match w {
+        WordVal::Inst { body, args } => {
+            let (base, n) = peel_count(body);
+            (base, n + args.len())
+        }
+        other => (other, 0),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The cursor tier
+// ---------------------------------------------------------------------
+
+/// The compiled-cursor T tier: per-block [`FastSeq`]s entered through
+/// the heap, with inline caches on constant jump targets.
+pub(crate) struct CursorTier;
+
+impl Tier for CursorTier {
+    type TCtrl = TCtrl;
+
+    fn boundary_ctrl(
+        _m: &mut Machine<'_, Self>,
+        comp: &Arc<TComp>,
+        env: &Env,
+        merge: MergeOutcome,
+    ) -> TCtrl {
+        // When no label was renamed the entry is the shared
+        // component's own sequence: reuse its cached compile.
+        let seq = match merge.renamed_entry {
+            Some(entry) => Rc::new(compile_seq(&entry)),
+            None => compiled_entry(comp),
+        };
+        TCtrl {
+            seq,
+            pc: 0,
+            env: env.clone(),
+        }
+    }
+
+    fn step_t(m: &mut Machine<'_, Self>, t: TCtrl) -> RResult<Step<Self>> {
+        m.step_t(t)
+    }
+}
+
 /// Runs an FT component with the environment-passing machine, reading
 /// the initial state from `mem` and writing the final state back, so
 /// callers observe exactly what the substitution machine would leave
@@ -1846,6 +1956,7 @@ pub fn run_fast(
         guard: cfg.guard,
         trace: tracer.enabled(),
         tracer,
+        tier: CursorTier,
     };
     let ctrl = match comp {
         Component::F(e) => Ctrl::Eval(IExpr::from_fexpr(e), Env::default()),
@@ -1855,6 +1966,7 @@ pub fn run_fast(
             let entry = machine
                 .mem
                 .merge_fragment(c, &Env::default())
+                .renamed_entry
                 .unwrap_or_else(|| c.seq.clone());
             Ctrl::T(TCtrl {
                 seq: Rc::new(compile_seq(&entry)),

@@ -1,8 +1,8 @@
-//! Differential testing of the two evaluation strategies.
+//! Differential testing of the three evaluation strategies.
 //!
 //! The substitution machine is the executable form of Fig 8; the
-//! environment machine is the fast path. This suite pins them
-//! together on three axes:
+//! environment machine is the fast path; the bytecode VM is the
+//! fastest tier. This suite pins all three together on three axes:
 //!
 //! 1. **Outcomes** — every paper figure, the compiled MiniF programs,
 //!    and a proptest-generated corpus produce *identical*
@@ -12,7 +12,7 @@
 //!    and control-flow diagrams are strategy-independent.
 //! 3. **Fuel** — the minimal sufficient fuel is the same, i.e. the
 //!    strategies agree step-for-step, not just in the limit; in
-//!    particular both report `OutOfFuel` under exactly the same
+//!    particular all report `OutOfFuel` under exactly the same
 //!    bounds.
 
 use funtal::figures::*;
@@ -26,6 +26,13 @@ use funtal_tal::machine::Memory;
 use funtal_tal::trace::{NullTracer, VecTracer};
 use proptest::prelude::*;
 
+/// Every strategy, oracle first.
+const STRATEGIES: [EvalStrategy; 3] = [
+    EvalStrategy::Substitution,
+    EvalStrategy::Environment,
+    EvalStrategy::Bytecode,
+];
+
 fn run_with(
     comp: &Component,
     strategy: EvalStrategy,
@@ -38,12 +45,18 @@ fn run_with(
     (out, tracer.events)
 }
 
-/// Asserts both strategies agree on outcome and event stream.
+/// Asserts every strategy agrees with the oracle on outcome and event
+/// stream.
 fn assert_agree(name: &str, comp: &Component, fuel: u64) {
     let (sub, sub_events) = run_with(comp, EvalStrategy::Substitution, fuel);
-    let (env, env_events) = run_with(comp, EvalStrategy::Environment, fuel);
-    assert_eq!(sub, env, "{name}: outcomes disagree");
-    assert_eq!(sub_events, env_events, "{name}: event streams disagree");
+    for strategy in [EvalStrategy::Environment, EvalStrategy::Bytecode] {
+        let (out, events) = run_with(comp, strategy, fuel);
+        assert_eq!(sub, out, "{name}: {strategy:?} outcome disagrees");
+        assert_eq!(
+            sub_events, events,
+            "{name}: {strategy:?} event stream disagrees"
+        );
+    }
 }
 
 /// The least fuel under which the strategy completes (binary search).
@@ -125,14 +138,22 @@ fn figures_agree_on_outcomes_and_events() {
 fn figures_agree_on_minimal_fuel() {
     for (name, comp) in figure_programs() {
         let sub = minimal_fuel(&comp, EvalStrategy::Substitution);
-        let env = minimal_fuel(&comp, EvalStrategy::Environment);
-        assert_eq!(sub, env, "{name}: minimal sufficient fuel differs");
-        // And right below the bound, both must report OutOfFuel.
+        for strategy in [EvalStrategy::Environment, EvalStrategy::Bytecode] {
+            let other = minimal_fuel(&comp, strategy);
+            assert_eq!(
+                sub, other,
+                "{name}: {strategy:?} minimal sufficient fuel differs"
+            );
+        }
+        // And right below the bound, every strategy must report
+        // OutOfFuel.
         if sub > 0 {
             let (s, _) = run_with(&comp, EvalStrategy::Substitution, sub - 1);
-            let (e, _) = run_with(&comp, EvalStrategy::Environment, sub - 1);
             assert_eq!(s, Ok(FtOutcome::OutOfFuel), "{name}");
-            assert_eq!(s, e, "{name}: sub-minimal fuel behavior differs");
+            for strategy in [EvalStrategy::Environment, EvalStrategy::Bytecode] {
+                let (o, _) = run_with(&comp, strategy, sub - 1);
+                assert_eq!(s, o, "{name}: {strategy:?} sub-minimal fuel differs");
+            }
         }
     }
 }
@@ -153,8 +174,13 @@ fn compiled_programs_agree() {
             let comp = Component::F(call);
             assert_agree(&format!("{pname}::{fname} tco={tco}"), &comp, 10_000_000);
             let sub = minimal_fuel(&comp, EvalStrategy::Substitution);
-            let env = minimal_fuel(&comp, EvalStrategy::Environment);
-            assert_eq!(sub, env, "{pname}::{fname} tco={tco}: fuel differs");
+            for strategy in [EvalStrategy::Environment, EvalStrategy::Bytecode] {
+                let other = minimal_fuel(&comp, strategy);
+                assert_eq!(
+                    sub, other,
+                    "{pname}::{fname} tco={tco}: {strategy:?} fuel differs"
+                );
+            }
         }
     }
 }
@@ -192,12 +218,14 @@ proptest! {
         if let Some((name, prog)) = corpus_program(seed) {
             let comp = Component::F(prog);
             let (sub, sub_events) = run_with(&comp, EvalStrategy::Substitution, 100_000);
-            let (env, env_events) = run_with(&comp, EvalStrategy::Environment, 100_000);
-            prop_assert_eq!(&sub, &env, "{}: outcomes disagree", name);
-            prop_assert_eq!(&sub_events, &env_events, "{}: events disagree", name);
             let msub = minimal_fuel(&comp, EvalStrategy::Substitution);
-            let menv = minimal_fuel(&comp, EvalStrategy::Environment);
-            prop_assert_eq!(msub, menv, "{}: minimal fuel differs", name);
+            for strategy in [EvalStrategy::Environment, EvalStrategy::Bytecode] {
+                let (out, events) = run_with(&comp, strategy, 100_000);
+                prop_assert_eq!(&sub, &out, "{}: {:?} outcomes disagree", name, strategy);
+                prop_assert_eq!(&sub_events, &events, "{}: {:?} events disagree", name, strategy);
+                let mother = minimal_fuel(&comp, strategy);
+                prop_assert_eq!(msub, mother, "{}: {:?} minimal fuel differs", name, strategy);
+            }
         }
     }
 }
@@ -208,7 +236,7 @@ fn guarded_runs_agree() {
     // well-typed programs under either strategy.
     for (name, comp) in figure_programs() {
         let mut cfgs = Vec::new();
-        for strategy in [EvalStrategy::Substitution, EvalStrategy::Environment] {
+        for strategy in STRATEGIES {
             let mut mem = Memory::new();
             let cfg = RunCfg {
                 fuel: 1_000_000,
@@ -217,7 +245,11 @@ fn guarded_runs_agree() {
             };
             cfgs.push(run(&mut mem, &comp, cfg, &mut NullTracer).map_err(|e| e.to_string()));
         }
-        assert_eq!(cfgs[0], cfgs[1], "{name}: guarded outcomes disagree");
+        assert_eq!(cfgs[0], cfgs[1], "{name}: guarded env outcome disagrees");
+        assert_eq!(
+            cfgs[0], cfgs[2],
+            "{name}: guarded bytecode outcome disagrees"
+        );
         assert!(cfgs[0].is_ok(), "{name}: guard tripped on well-typed code");
     }
 }
@@ -227,9 +259,8 @@ fn final_memories_agree() {
     // Not just outcomes: the final memory (heap labels, register file,
     // stack) must match, since callers can inspect it after `run`.
     for (name, comp) in figure_programs() {
-        let mut mem_sub = Memory::new();
-        let mut mem_env = Memory::new();
         let cfg = RunCfg::with_fuel(1_000_000);
+        let mut mem_sub = Memory::new();
         let a = run(
             &mut mem_sub,
             &comp,
@@ -237,17 +268,26 @@ fn final_memories_agree() {
             &mut NullTracer,
         )
         .map_err(|e| e.to_string());
-        let b = run(
-            &mut mem_env,
-            &comp,
-            cfg.with_strategy(EvalStrategy::Environment),
-            &mut NullTracer,
-        )
-        .map_err(|e| e.to_string());
-        assert_eq!(a, b, "{name}");
-        assert_eq!(mem_sub.heap, mem_env.heap, "{name}: heaps differ");
-        assert_eq!(mem_sub.regs, mem_env.regs, "{name}: register files differ");
-        assert_eq!(mem_sub.stack, mem_env.stack, "{name}: stacks differ");
+        for strategy in [EvalStrategy::Environment, EvalStrategy::Bytecode] {
+            let mut mem = Memory::new();
+            let b = run(
+                &mut mem,
+                &comp,
+                cfg.with_strategy(strategy),
+                &mut NullTracer,
+            )
+            .map_err(|e| e.to_string());
+            assert_eq!(a, b, "{name}: {strategy:?}");
+            assert_eq!(mem_sub.heap, mem.heap, "{name}: {strategy:?} heap differs");
+            assert_eq!(
+                mem_sub.regs, mem.regs,
+                "{name}: {strategy:?} register file differs"
+            );
+            assert_eq!(
+                mem_sub.stack, mem.stack,
+                "{name}: {strategy:?} stack differs"
+            );
+        }
     }
 }
 
@@ -279,26 +319,64 @@ fn merged_blocks_with_captured_imports_write_back_substituted() {
 
     let mut mem_sub = Memory::new();
     let mut mem_env = Memory::new();
+    let mut mem_bc = Memory::new();
     let cfg = RunCfg::with_fuel(10_000);
     for (mem, strategy) in [
         (&mut mem_sub, EvalStrategy::Substitution),
         (&mut mem_env, EvalStrategy::Environment),
+        (&mut mem_bc, EvalStrategy::Bytecode),
     ] {
         let out = run(mem, &prog, cfg.with_strategy(strategy), &mut NullTracer).unwrap();
         assert_eq!(out, FtOutcome::Value(fint_e(5)), "{strategy:?}");
     }
     assert_eq!(mem_sub.heap, mem_env.heap, "written-back heaps differ");
+    assert_eq!(
+        mem_sub.heap, mem_bc.heap,
+        "bytecode written-back heap differs"
+    );
 
     // Re-running another component on the final memories must agree
     // too (the merged block collides and is freshened identically).
     for (mem, strategy) in [
         (&mut mem_sub, EvalStrategy::Substitution),
         (&mut mem_env, EvalStrategy::Environment),
+        (&mut mem_bc, EvalStrategy::Bytecode),
     ] {
         let out = run(mem, &prog, cfg.with_strategy(strategy), &mut NullTracer).unwrap();
         assert_eq!(out, FtOutcome::Value(fint_e(5)), "re-run {strategy:?}");
     }
     assert_eq!(mem_sub.heap, mem_env.heap, "re-run heaps differ");
+    assert_eq!(mem_sub.heap, mem_bc.heap, "bytecode re-run heap differs");
+}
+
+#[test]
+fn prelowered_programs_match_environment_trace() {
+    // `prelower` + `run_prelowered` (the warm-batch bytecode path) must
+    // replay exactly the same outcome and event stream as a cold
+    // `run_fexpr` — for every figure program, reused across runs to
+    // exercise the cached-module path.
+    for (name, comp) in figure_programs() {
+        let Component::F(e) = comp else { continue };
+        let cfg = RunCfg::with_fuel(1_000_000);
+        let mut tracer = VecTracer::new();
+        let oracle = run_fexpr(
+            &e,
+            cfg.with_strategy(EvalStrategy::Environment),
+            &mut tracer,
+        )
+        .map_err(|err| err.to_string());
+        let lp = funtal::prelower(&e);
+        for round in 0..2 {
+            let mut bc_tracer = VecTracer::new();
+            let out =
+                funtal::run_prelowered(&lp, cfg, &mut bc_tracer).map_err(|err| err.to_string());
+            assert_eq!(oracle, out, "{name}: prelowered outcome (round {round})");
+            assert_eq!(
+                tracer.events, bc_tracer.events,
+                "{name}: prelowered events (round {round})"
+            );
+        }
+    }
 }
 
 #[test]

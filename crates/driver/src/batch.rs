@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 
-use funtal::machine::FtOutcome;
+use funtal::machine::{EvalStrategy, ExecTier, FtOutcome};
 use funtal_tal::trace::CountTracer;
 
 use crate::cache::{ArtifactCache, CacheStats};
@@ -56,6 +56,8 @@ pub enum JobKind {
         src: String,
         /// Per-job fuel override (engine default otherwise).
         fuel: Option<u64>,
+        /// Per-job execution-tier override (engine default otherwise).
+        tier: Option<ExecTier>,
     },
     /// Parse + compile a MiniF source; optionally apply a definition.
     Compile {
@@ -95,6 +97,19 @@ impl Job {
             kind: JobKind::Run {
                 src: src.into(),
                 fuel: None,
+                tier: None,
+            },
+        }
+    }
+
+    /// A `run` job pinned to an execution tier.
+    pub fn run_tiered(id: impl Into<String>, src: impl Into<String>, tier: ExecTier) -> Job {
+        Job {
+            id: id.into(),
+            kind: JobKind::Run {
+                src: src.into(),
+                fuel: None,
+                tier: Some(tier),
             },
         }
     }
@@ -179,6 +194,20 @@ impl Job {
                     Some(other) => {
                         return Err(FunTalError::driver(format!(
                             "job {id}: `fuel` must be a non-negative integer, got {other}"
+                        )))
+                    }
+                    None => None,
+                },
+                tier: match v.get("tier") {
+                    Some(Json::Str(name)) => Some(crate::parse_tier(name).ok_or_else(|| {
+                        FunTalError::driver(format!(
+                            "job {id}: unknown tier `{name}` \
+                             (use substitution, environment, or bytecode)"
+                        ))
+                    })?),
+                    Some(other) => {
+                        return Err(FunTalError::driver(format!(
+                            "job {id}: `tier` must be a string, got {other}"
                         )))
                     }
                     None => None,
@@ -437,6 +466,7 @@ pub fn render_summary(
             obj([
                 ("parse", stage(cache.parse)),
                 ("check", stage(cache.check)),
+                ("lower", stage(cache.lower)),
                 ("compile", stage(cache.compile)),
             ]),
         ),
@@ -556,15 +586,27 @@ impl Batch {
                 let (_, ty) = self.parse_and_check(src)?;
                 Ok(JobSuccess::Checked { ty: ty.to_string() })
             }
-            JobKind::Run { src, fuel } => {
+            JobKind::Run { src, fuel, tier } => {
                 let (parsed, ty) = self.parse_and_check(src)?;
-                let pipeline = match fuel {
-                    Some(f) => self.pipeline.clone().with_fuel(*f),
-                    None => self.pipeline.clone(),
-                };
+                let mut pipeline = self.pipeline.clone();
+                if let Some(f) = fuel {
+                    pipeline = pipeline.with_fuel(*f);
+                }
+                if let Some(t) = tier {
+                    pipeline = pipeline.with_tier(*t);
+                }
                 // The cache proved the term well-typed; evaluate
-                // without re-checking.
-                let report: RunReport = pipeline.run_prechecked(&parsed.expr, (*ty).clone())?;
+                // without re-checking. Bytecode runs go through the
+                // lowered-artifact cache, so only the first job per
+                // distinct program pays for register allocation.
+                let report: RunReport = if pipeline.tier() == EvalStrategy::Bytecode {
+                    let lowered = self
+                        .cache
+                        .lower_keyed(&parsed.check_key, || funtal::prelower(&parsed.expr));
+                    pipeline.run_prelowered(&lowered, (*ty).clone())?
+                } else {
+                    pipeline.run_prechecked(&parsed.expr, (*ty).clone())?
+                };
                 if matches!(report.outcome, FtOutcome::OutOfFuel) {
                     return Err(FunTalError::OutOfFuel {
                         fuel: pipeline.fuel(),
@@ -702,6 +744,63 @@ mod tests {
         let warm = batch.cache().stats();
         assert_eq!((warm.parse.hits, warm.parse.misses), (1, 1));
         assert_eq!((warm.check.hits, warm.check.misses), (1, 1));
+    }
+
+    #[test]
+    fn tier_field_parses_and_bad_tiers_are_rejected() {
+        let jobs = Job::parse_jsonl(
+            "{\"id\":\"b\",\"cmd\":\"run\",\"src\":\"1 + 2\",\"tier\":\"bytecode\"}\n",
+        )
+        .unwrap();
+        assert_eq!(
+            jobs[0].kind,
+            JobKind::Run {
+                src: "1 + 2".to_string(),
+                fuel: None,
+                tier: Some(EvalStrategy::Bytecode),
+            }
+        );
+        assert!(Job::parse_jsonl("{\"cmd\":\"run\",\"src\":\"1\",\"tier\":\"jit\"}").is_err());
+        assert!(Job::parse_jsonl("{\"cmd\":\"run\",\"src\":\"1\",\"tier\":7}").is_err());
+    }
+
+    #[test]
+    fn bytecode_jobs_agree_with_default_tier() {
+        let batch = Batch::new(Pipeline::new());
+        let src = "FT[int](mv r1, 6; mul r1, r1, 7; halt int, * {r1})";
+        let report = batch.run(&[
+            Job::run("env", src),
+            Job::run_tiered("bc", src, EvalStrategy::Bytecode),
+        ]);
+        let env = report.outcomes[0].to_json().to_string();
+        let bc = report.outcomes[1].to_json().to_string();
+        // Same value, type, and step counts — only the id differs.
+        assert_eq!(
+            env.replace("\"id\":\"env\"", ""),
+            bc.replace("\"id\":\"bc\"", ""),
+            "bytecode tier diverged:\n{env}\n{bc}"
+        );
+    }
+
+    #[test]
+    fn warm_batch_skips_relowering() {
+        let batch = Batch::new(Pipeline::new());
+        let src = "FT[int](mv r1, 6; mul r1, r1, 7; halt int, * {r1})";
+        batch.run(&[Job::run_tiered("a", src, EvalStrategy::Bytecode)]);
+        let cold = batch.cache().stats();
+        assert_eq!((cold.lower.hits, cold.lower.misses), (0, 1));
+        // Second batch over the same program (even formatted
+        // differently): the lowering is served from cache.
+        let resrc = src.replace("; ", ";  ");
+        batch.run(&[
+            Job::run_tiered("b", src, EvalStrategy::Bytecode),
+            Job::run_tiered("c", &resrc, EvalStrategy::Bytecode),
+        ]);
+        let warm = batch.cache().stats();
+        assert_eq!((warm.lower.hits, warm.lower.misses), (2, 1));
+        // Non-bytecode runs never touch the lowering cache.
+        batch.run(&[Job::run("d", src)]);
+        assert_eq!(batch.cache().stats().lower, warm.lower);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! |----------------|--------------------------------------------|----------------------|
 //! | parse          | the source text                            | `Arc<Parsed>` (term + its rendering) |
 //! | FT typecheck   | the parsed term's canonical rendering      | `Arc<FTy>`           |
+//! | bytecode lower | the parsed term's canonical rendering      | `Arc<LoweredProgram>` |
 //! | MiniF compile  | the source text + codegen options          | `Arc<CompiledMiniF>` |
 //!
 //! The in-process maps key on the **full content** (a cache must never
@@ -96,6 +97,8 @@ pub struct CacheStats {
     pub parse: StageStats,
     /// The FT typecheck stage.
     pub check: StageStats,
+    /// The bytecode lowering stage (`--tier bytecode` runs).
+    pub lower: StageStats,
     /// The MiniF parse+compile stage (`.mf` sources).
     pub compile: StageStats,
 }
@@ -159,6 +162,7 @@ pub struct Parsed {
 pub struct ArtifactCache {
     parse: Shard<String, Parsed>,
     check: Shard<String, FTy>,
+    lower: Shard<String, funtal::LoweredProgram>,
     compile: Shard<(String, bool), CompiledMiniF>,
 }
 
@@ -265,6 +269,37 @@ impl ArtifactCache {
         self.check_keyed(&term.to_string(), compute)
     }
 
+    /// The lowered bytecode artifact for a term whose canonical
+    /// rendering the caller already holds (a [`Parsed`] artifact's
+    /// `check_key`). Keyed like the typecheck stage — on the term, not
+    /// the source — so differently formatted sources of one program
+    /// share a single lowering, and a warm `--tier bytecode` run skips
+    /// register allocation and fusion entirely.
+    pub fn lower_keyed(
+        &self,
+        check_key: &str,
+        compute: impl FnOnce() -> funtal::LoweredProgram,
+    ) -> Arc<funtal::LoweredProgram> {
+        if let Some(found) = self
+            .lower
+            .map
+            .lock()
+            .expect("cache poisoned")
+            .get(check_key)
+        {
+            self.lower.counters.hit();
+            return found.clone();
+        }
+        self.lower.counters.miss();
+        let value = Arc::new(compute());
+        self.lower
+            .map
+            .lock()
+            .expect("cache poisoned")
+            .insert(check_key.to_string(), value.clone());
+        value
+    }
+
     /// The compiled MiniF bundle for a source, from cache or `compute`.
     pub fn compile<E>(
         &self,
@@ -281,6 +316,7 @@ impl ArtifactCache {
         CacheStats {
             parse: self.parse.counters.snapshot(),
             check: self.check.counters.snapshot(),
+            lower: self.lower.counters.snapshot(),
             compile: self.compile.counters.snapshot(),
         }
     }
@@ -289,6 +325,7 @@ impl ArtifactCache {
     pub fn len(&self) -> usize {
         self.parse.map.lock().expect("cache poisoned").len()
             + self.check.map.lock().expect("cache poisoned").len()
+            + self.lower.map.lock().expect("cache poisoned").len()
             + self.compile.map.lock().expect("cache poisoned").len()
     }
 

@@ -37,7 +37,8 @@ pub mod json;
 pub mod minif;
 pub mod report;
 
-use funtal::machine::{run, run_fexpr, EvalStrategy, FtOutcome, RunCfg};
+use funtal::machine::{run, run_fexpr, EvalStrategy, ExecTier, FtOutcome, RunCfg};
+use funtal::LoweredProgram;
 use funtal_compile::codegen::{compile_program, CodegenOpts, Compiled};
 use funtal_compile::lang::Program;
 use funtal_equiv::{equivalent, EquivCfg, Verdict};
@@ -51,6 +52,17 @@ pub use batch::{Batch, BatchReport, Job, JobKind, JobOutcome, JobSuccess};
 pub use cache::{ArtifactCache, CacheStats};
 pub use error::FunTalError;
 pub use report::{Checked, CompiledMiniF, RunReport, TraceReport};
+
+/// Parses an execution-tier (= evaluation-strategy) name as the CLI
+/// flags and the batch job protocol spell them.
+pub fn parse_tier(name: &str) -> Option<ExecTier> {
+    match name {
+        "substitution" | "subst" => Some(EvalStrategy::Substitution),
+        "environment" | "env" => Some(EvalStrategy::Environment),
+        "bytecode" | "bc" => Some(EvalStrategy::Bytecode),
+        _ => None,
+    }
+}
 
 /// A configured lex → parse → typecheck → compile → evaluate pipeline.
 ///
@@ -103,10 +115,19 @@ impl Pipeline {
     }
 
     /// Selects the evaluation strategy (environment-passing by
-    /// default; substitution is the paper-literal oracle).
+    /// default; substitution is the paper-literal oracle; bytecode is
+    /// the direct-threaded tier below the compiled cursor).
     pub fn with_strategy(mut self, strategy: EvalStrategy) -> Pipeline {
         self.strategy = strategy;
         self
+    }
+
+    /// Selects the execution tier. `ExecTier` is the strategy enum
+    /// viewed as a performance ladder (substitution → environment →
+    /// bytecode), so this is [`with_strategy`](Pipeline::with_strategy)
+    /// under the tier vocabulary the CLI and batch protocol use.
+    pub fn with_tier(self, tier: ExecTier) -> Pipeline {
+        self.with_strategy(tier)
     }
 
     /// Sets MiniF code-generation options (e.g. tail-call
@@ -125,6 +146,11 @@ impl Pipeline {
     /// The configured fuel bound.
     pub fn fuel(&self) -> u64 {
         self.fuel
+    }
+
+    /// The configured execution tier (= evaluation strategy).
+    pub fn tier(&self) -> ExecTier {
+        self.strategy
     }
 
     /// The configured codegen options.
@@ -238,6 +264,28 @@ impl Pipeline {
     pub fn run_prechecked(&self, e: &FExpr, ty: FTy) -> Result<RunReport, FunTalError> {
         let mut counts = CountTracer::new();
         let outcome = run_fexpr(e, self.run_cfg(), &mut counts)?;
+        Ok(RunReport {
+            ty,
+            outcome,
+            counts,
+            fuel: self.fuel,
+        })
+    }
+
+    /// Evaluates a pre-lowered bytecode program whose type is already
+    /// known — the bytecode-tier analogue of
+    /// [`run_prechecked`](Pipeline::run_prechecked). The batch engine
+    /// calls this when its cache already holds both the type and the
+    /// lowered artifact, so a warm `--tier bytecode` run is hash
+    /// lookups plus the dispatch loop: no re-parse, no re-check, no
+    /// re-lowering.
+    pub fn run_prelowered(
+        &self,
+        lowered: &LoweredProgram,
+        ty: FTy,
+    ) -> Result<RunReport, FunTalError> {
+        let mut counts = CountTracer::new();
+        let outcome = funtal::run_prelowered(lowered, self.run_cfg(), &mut counts)?;
         Ok(RunReport {
             ty,
             outcome,

@@ -40,8 +40,12 @@ COMMANDS:
 
 OPTIONS:
     --fuel N        evaluation step bound          [default: 1000000]
-    --strategy S    evaluation strategy: `environment` (fast, default)
-                    or `substitution` (the paper-literal Fig 8 oracle)
+    --strategy S    evaluation strategy: `environment` (fast, default),
+                    `substitution` (the paper-literal Fig 8 oracle), or
+                    `bytecode` (the direct-threaded tier)
+    --tier T        execution tier: `substitution`, `environment`, or
+                    `bytecode` — the strategy ladder under its tier
+                    name; same as --strategy
     --guard         enable the dynamic type-safety guard at T jumps
     --steps         print step counts after `run`
     --trace         with `run`: also print the control-flow diagram
@@ -102,17 +106,14 @@ fn parse_args(args: &[String]) -> Result<Opts, FunTalError> {
     while i < args.len() {
         match args[i].as_str() {
             "--fuel" => o.fuel = Some(parse_num(&take(args, &mut i, "--fuel")?, "--fuel")?),
-            "--strategy" => {
-                o.strategy = match take(args, &mut i, "--strategy")?.as_str() {
-                    "environment" | "env" => EvalStrategy::Environment,
-                    "substitution" | "subst" => EvalStrategy::Substitution,
-                    other => {
-                        return Err(FunTalError::driver(format!(
-                            "--strategy: `{other}` is not a strategy \
-                             (use `environment` or `substitution`)"
-                        )))
-                    }
-                }
+            flag @ ("--strategy" | "--tier") => {
+                let name = take(args, &mut i, flag)?;
+                o.strategy = funtal_driver::parse_tier(&name).ok_or_else(|| {
+                    FunTalError::driver(format!(
+                        "{flag}: `{name}` is not a tier \
+                         (use `environment`, `substitution`, or `bytecode`)"
+                    ))
+                })?;
             }
             "--guard" => o.guard = true,
             "--steps" => o.steps = true,

@@ -6,15 +6,19 @@
 //! driver over a *generated* corpus of well-typed programs — pure F,
 //! pure-T boundaries, Fig 9/10-style import/export lambdas, and the
 //! paper's figures at sampled inputs (`funtal_equiv::gen::gen_program`)
-//! — and adds the batch engine as a third contender:
+//! — and adds the bytecode tier and the batch engine as further
+//! contenders:
 //!
-//! - **Substitution vs Environment** through [`Pipeline::trace`]:
-//!   identical outcomes, identical event streams, identical step/fuel
-//!   accounting.
+//! - **Substitution vs Environment vs Bytecode** through
+//!   [`Pipeline::trace`]: identical outcomes, identical event streams,
+//!   identical step/fuel accounting — the direct-threaded tier is held
+//!   to the exact observable behavior of the paper-literal oracle.
 //! - **Batch vs sequential**: the batch engine consumes each program's
 //!   canonical *rendering* as a source job and must reproduce the
 //!   in-memory pipeline's outcome, type, and counts exactly — and its
 //!   rendered result lines must be byte-identical across worker counts.
+//!   Bytecode-tier batch jobs (through the lowered-artifact cache) must
+//!   agree with all of the above.
 //!
 //! The committed corpus (`tests/corpus/differential_seeds.txt`) keeps a
 //! fixed seed list so failures reproduce; the proptest below samples
@@ -34,7 +38,7 @@ fn base_pipeline() -> Pipeline {
     Pipeline::new().with_fuel(FUEL)
 }
 
-/// The three-way differential assertion for one generated program.
+/// The four-way differential assertion for one generated program.
 fn assert_differential_clean(p: &GenProgram) {
     let subst = base_pipeline()
         .with_strategy(EvalStrategy::Substitution)
@@ -65,6 +69,30 @@ fn assert_differential_clean(p: &GenProgram) {
         p.expr
     );
 
+    // The bytecode tier is a fourth contender held to the same bar:
+    // outcome, event stream, and fuel accounting all match the oracle.
+    let bc = base_pipeline()
+        .with_tier(EvalStrategy::Bytecode)
+        .trace(&p.expr)
+        .unwrap_or_else(|e| panic!("{}: bytecode failed: {e}\n{}", p.describe, p.expr));
+    assert_eq!(
+        subst.outcome, bc.outcome,
+        "{}: bytecode outcome diverges\n{}",
+        p.describe, p.expr
+    );
+    assert_eq!(
+        subst.events, bc.events,
+        "{}: bytecode event stream diverges\n{}",
+        p.describe, p.expr
+    );
+    assert_eq!(
+        subst.counts(),
+        bc.counts(),
+        "{}: bytecode step counts diverge\n{}",
+        p.describe,
+        p.expr
+    );
+
     // The batch engine consumes the canonical rendering as source and
     // must agree with the in-memory pipeline...
     let jobs = vec![Job::run("p", p.expr.to_string())];
@@ -80,6 +108,30 @@ fn assert_differential_clean(p: &GenProgram) {
     assert_eq!(ty, env.ty.to_string(), "{}: batch type", p.describe);
     assert_eq!(outcome, env.outcome, "{}: batch outcome", p.describe);
     assert_eq!(counts, env.counts(), "{}: batch fuel", p.describe);
+
+    // ...as must a bytecode-tier batch job, which additionally routes
+    // through the lowered-artifact cache.
+    let bc_jobs = vec![Job::run_tiered(
+        "p",
+        p.expr.to_string(),
+        EvalStrategy::Bytecode,
+    )];
+    let one_bc = Batch::new(base_pipeline()).run(&bc_jobs);
+    match &one_bc.outcomes[0].result {
+        Ok(JobSuccess::Ran {
+            ty: bty,
+            outcome: boutcome,
+            counts: bcounts,
+        }) => {
+            assert_eq!(bty, &ty, "{}: bytecode batch type", p.describe);
+            assert_eq!(boutcome, &outcome, "{}: bytecode batch outcome", p.describe);
+            assert_eq!(bcounts, &counts, "{}: bytecode batch fuel", p.describe);
+        }
+        other => panic!(
+            "{}: bytecode batch failed: {other:?}\n{}",
+            p.describe, p.expr
+        ),
+    }
 
     // ...and its report must be byte-identical across worker counts
     // (here over copies of the same job; the stress test covers big

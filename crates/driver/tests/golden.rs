@@ -63,6 +63,12 @@ const CASES: &[Case] = &[
             "--steps",
         ],
     ),
+    // The bytecode tier: same value and step counts as the other
+    // snapshots of this file, just a different machine underneath.
+    case(
+        "run_fact_t_bytecode",
+        &["run", "examples/fact_t.ft", "--tier", "bytecode", "--steps"],
+    ),
     // trace: the Fig 12-style diagrams.
     case("trace_double_twice", &["trace", "examples/double_twice.ft"]),
     case("trace_fact_t", &["trace", "examples/fact_t.ft"]),
@@ -96,6 +102,10 @@ const CASES: &[Case] = &[
     case("error_parse", &["run", "crates/driver/tests/golden/bad.ft"]),
     case("error_missing_file", &["run", "no/such/file.ft"]),
     case("error_unknown_cmd", &["frobnicate"]),
+    case(
+        "error_bad_tier",
+        &["run", "examples/fact_t.ft", "--tier", "jit"],
+    ),
     // batch: the protocol corpus, cold and warm (one worker so the
     // cache counters in the summary are deterministic), plus direct
     // .ft/.mf file jobs on two workers (all-distinct keys, so the
@@ -112,6 +122,13 @@ const CASES: &[Case] = &[
             "--repeat",
             "2",
         ],
+    ),
+    // batch on the bytecode tier: per-job `tier` fields, one worker so
+    // the lower-stage cache counters in the summary are deterministic
+    // (the repeated program must report a lower-cache hit).
+    case(
+        "batch_jobs_bytecode",
+        &["batch", "crates/driver/tests/golden/jobs_bytecode.jsonl"],
     ),
     case(
         "batch_files",
