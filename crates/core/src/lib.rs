@@ -51,5 +51,6 @@ pub mod translate;
 
 pub use check::{type_of_fexpr, typecheck, typecheck_component, FtCtx, Gamma};
 pub use machine::{eval_to_value, run, run_fexpr, EvalStrategy, ExecTier, FtOutcome, RunCfg};
-pub use machine_bc::{prelower, run_prelowered, LoweredProgram};
+pub use machine_bc::{prelower, prelower_spanned, run_prelowered, LoweredProgram};
+pub use machine_fast::SpanScope;
 pub use translate::{f_to_t, fty_to_tty, t_to_f};

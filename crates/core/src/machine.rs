@@ -329,7 +329,10 @@ fn step_ft_seq(
 ) -> RResult<InstrSeq> {
     match seq.instrs.first() {
         Some(Instr::Protect { .. }) => {
-            // protect is typing-only.
+            // protect is typing-only, but still one machine step —
+            // emit `Instr` so every fuel tick has exactly one charging
+            // event (the profiler's invariant, identical in all tiers).
+            tracer.event(&Event::Instr);
             seq.instrs.remove(0);
             Ok(seq)
         }

@@ -33,6 +33,7 @@ use std::rc::Rc;
 use std::sync::{Arc, Weak};
 
 use funtal_syntax::intern::{IExpr, IKind};
+use funtal_syntax::span::{Span, SpanTable};
 use funtal_syntax::subst::Subst;
 use funtal_syntax::{
     ArithOp, Component, FExpr, FTy, HeapFrag, HeapVal, Inst, Instr, InstrSeq, Label, Mutability,
@@ -44,8 +45,8 @@ use funtal_tal::trace::{Event, Tracer};
 
 use crate::machine::{FtOutcome, RunCfg};
 use crate::machine_fast::{
-    lower_op, peel_count, Ctrl, Env, FastHeapVal, FastMem, FastOp, Frame, Machine, MergeOutcome,
-    Step, TWord, Tier,
+    ambient_root, ambient_span, lower_op, peel_count, Ctrl, Env, FastHeapVal, FastMem, FastOp,
+    Frame, Machine, MergeOutcome, SpanScope, Step, TWord, Tier,
 };
 
 // ---------------------------------------------------------------------
@@ -249,6 +250,12 @@ pub(crate) struct BcModule {
     /// Per-fragment-ordinal `(offset, instantiation arity)`; tuples get
     /// [`NOT_CODE`].
     pub(crate) blocks: Vec<(u32, usize)>,
+    /// Source region of the entry sequence (the ambient root span at
+    /// lower time; synthetic for generated entries).
+    pub(crate) entry_span: Span,
+    /// Per-fragment-ordinal label and source region, resolved through
+    /// the ambient [`SpanScope`] at lower time.
+    pub(crate) spans: Vec<(Label, Span)>,
 }
 
 /// A module bound to one merged fragment in one memory: the shared
@@ -527,7 +534,16 @@ fn lower_module(entry: &InstrSeq, frag: &[FragCell]) -> BcModule {
         }
     }
     let blocks = offsets.into_iter().zip(arities).collect();
-    BcModule { ops, blocks }
+    let spans = frag
+        .iter()
+        .map(|(l, _)| (l.clone(), ambient_span(l.as_str())))
+        .collect();
+    BcModule {
+        ops,
+        blocks,
+        entry_span: ambient_root(),
+        spans,
+    }
 }
 
 fn frag_cells(heap: &HeapFrag) -> Vec<FragCell> {
@@ -949,8 +965,14 @@ impl Machine<'_, BcTier> {
                         pc += 1;
                     }
                     BcOp::Protect => {
-                        // Typing-only; still one machine step (no event).
+                        // Typing-only; still one machine step, charged
+                        // as a plain instruction so every tick has
+                        // exactly one charging event (the profiler's
+                        // invariant).
                         tickl!();
+                        if TRACED {
+                            self.tracer.event(&Event::Instr);
+                        }
                         pc += 1;
                     }
                     BcOp::Import { rd, ty, body } => {
@@ -1481,6 +1503,24 @@ impl LoweredProgram {
     pub fn module_count(&self) -> usize {
         self.modules.len()
     }
+
+    /// Every lowered code block's label and the source region it maps
+    /// back to, module by module in lowering order. Each module is
+    /// preceded by its entry sequence as `("<entry>", root span)`.
+    /// Spans are synthetic unless the program was lowered via
+    /// [`prelower_spanned`] (or under an explicit [`SpanScope`]).
+    pub fn block_spans(&self) -> Vec<(String, Span)> {
+        let mut out = Vec::new();
+        for (_, module) in &self.modules {
+            out.push(("<entry>".to_owned(), module.entry_span));
+            for ((label, span), &(_, arity)) in module.spans.iter().zip(&module.blocks) {
+                if arity != NOT_CODE {
+                    out.push((label.to_string(), *span));
+                }
+            }
+        }
+        out
+    }
 }
 
 fn collect_modules(
@@ -1544,6 +1584,14 @@ pub fn prelower(e: &FExpr) -> LoweredProgram {
     let mut modules = Vec::new();
     collect_modules(&iexpr, &mut seen, &mut modules);
     LoweredProgram { iexpr, modules }
+}
+
+/// [`prelower`] under a span scope: every lowered block records the
+/// source region its label resolves to in `table`, retrievable through
+/// [`LoweredProgram::block_spans`].
+pub fn prelower_spanned(e: &FExpr, table: Arc<SpanTable>) -> LoweredProgram {
+    let _scope = SpanScope::install(table);
+    prelower(e)
 }
 
 /// Runs a pre-lowered program in a fresh memory with the bytecode

@@ -27,6 +27,7 @@ use std::sync::{Arc, Weak};
 
 use funtal_syntax::intern::{IExpr, IKind};
 use funtal_syntax::rename::{rename_heap_val, rename_seq};
+use funtal_syntax::span::{Span, SpanTable};
 use funtal_syntax::subst::{subst_fvars, Subst};
 use funtal_syntax::{
     ArithOp, Component, FExpr, FTy, HeapVal, Inst, Instr, InstrSeq, Label, Lam, Mutability, Reg,
@@ -108,6 +109,61 @@ fn next_mem_id() -> u64 {
         c.set(id);
         id
     })
+}
+
+// ---------------------------------------------------------------------
+// Ambient span scope
+// ---------------------------------------------------------------------
+
+// The span table of the program currently being lowered, if any. An
+// ambient (thread-local) scope rather than a parameter because lowering
+// happens lazily at block entry, deep inside the step loop — threading
+// a table through every signature would touch every tier for a purely
+// diagnostic concern.
+thread_local! {
+    static AMBIENT_SPANS: RefCell<Option<Arc<SpanTable>>> = const { RefCell::new(None) };
+}
+
+/// Installs a [`SpanTable`] as the ambient source map for all lowering
+/// on this thread; the previous scope is restored on drop.
+///
+/// While a scope is installed, every block compiled by the cursor tier
+/// and every module lowered by the bytecode tier records the source
+/// span of its label. Caveat: compiled blocks are cached across runs
+/// (keyed by shared-`Arc` identity), so a block's span is baked at
+/// *first* compile — profile attribution does not read these spans (it
+/// resolves labels through the table directly) and is unaffected.
+pub struct SpanScope {
+    prev: Option<Arc<SpanTable>>,
+}
+
+impl SpanScope {
+    /// Installs `table`, returning the guard that scopes it.
+    pub fn install(table: Arc<SpanTable>) -> SpanScope {
+        let prev = AMBIENT_SPANS.with(|c| c.borrow_mut().replace(table));
+        SpanScope { prev }
+    }
+}
+
+impl Drop for SpanScope {
+    fn drop(&mut self) {
+        AMBIENT_SPANS.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// The span of `label` under the ambient scope (synthetic outside one).
+pub(crate) fn ambient_span(label: &str) -> Span {
+    AMBIENT_SPANS.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|t| t.resolve(label))
+            .unwrap_or(Span::SYNTH)
+    })
+}
+
+/// The root span of the ambient scope (synthetic outside one).
+pub(crate) fn ambient_root() -> Span {
+    AMBIENT_SPANS.with(|c| c.borrow().as_ref().map(|t| t.root).unwrap_or(Span::SYNTH))
 }
 
 pub(crate) fn ridx(r: Reg) -> usize {
@@ -533,6 +589,17 @@ enum FastTerm {
 pub(crate) struct FastSeq {
     instrs: Vec<FastInstr>,
     term: FastTerm,
+    /// Source region of the block this sequence was compiled from
+    /// (resolved through the ambient [`SpanScope`] at compile time;
+    /// synthetic for generated code or outside a scope).
+    span: Span,
+}
+
+impl FastSeq {
+    /// The source region this sequence maps back to.
+    pub(crate) fn span(&self) -> Span {
+        self.span
+    }
 }
 
 /// Evaluates a small value that mentions no registers to its word form
@@ -568,7 +635,7 @@ pub(crate) fn lower_op(u: &SmallVal) -> FastOp {
     }
 }
 
-fn compile_seq(seq: &InstrSeq) -> FastSeq {
+fn compile_seq(seq: &InstrSeq, span: Span) -> FastSeq {
     let instrs = seq
         .instrs
         .iter()
@@ -632,7 +699,7 @@ fn compile_seq(seq: &InstrSeq) -> FastSeq {
         },
         Terminator::Halt { val, .. } => FastTerm::Halt { val: *val },
     };
-    FastSeq { instrs, term }
+    FastSeq { instrs, term, span }
 }
 
 // A process-wide (per-thread) cache of compiled block bodies keyed by
@@ -665,7 +732,7 @@ fn compiled_entry(comp: &Arc<TComp>) -> Rc<FastSeq> {
                 }
             }
         }
-        let seq = Rc::new(compile_seq(&comp.seq));
+        let seq = Rc::new(compile_seq(&comp.seq, ambient_root()));
         if cache.len() >= 4096 {
             cache.retain(|_, (w, _)| w.upgrade().is_some());
         }
@@ -686,7 +753,7 @@ thread_local! {
     static WRAPPER_CACHE: RefCell<WrapperCache> = const { RefCell::new(Vec::new()) };
 }
 
-fn compiled_block(hv: &Arc<HeapVal>) -> Rc<FastSeq> {
+fn compiled_block(hv: &Arc<HeapVal>, label: &Label) -> Rc<FastSeq> {
     let key = Arc::as_ptr(hv) as usize;
     SEQ_CACHE.with(|cache| {
         let mut cache = cache.borrow_mut();
@@ -700,13 +767,29 @@ fn compiled_block(hv: &Arc<HeapVal>) -> Rc<FastSeq> {
         let HeapVal::Code(block) = &**hv else {
             unreachable!("compiled_block called on a tuple")
         };
-        let seq = Rc::new(compile_seq(&block.body));
+        let seq = Rc::new(compile_seq(&block.body, ambient_span(label.as_str())));
         if cache.len() >= 4096 {
             cache.retain(|_, (w, _)| w.upgrade().is_some());
         }
         cache.insert(key, (Arc::downgrade(hv), seq.clone()));
         seq
     })
+}
+
+/// Compiles every shared code block of `comp` (warming the per-thread
+/// cache) and reports the source span each block maps back to under
+/// the ambient [`SpanScope`] — the cursor-tier analogue of
+/// [`crate::machine_bc::LoweredProgram::block_spans`]. Blocks already
+/// cached from an earlier compile keep the span they were first
+/// attributed.
+pub fn compiled_comp_spans(comp: &TComp) -> Vec<(String, Span)> {
+    comp.heap
+        .iter_shared()
+        .filter_map(|(l, hv)| match &**hv {
+            HeapVal::Code(_) => Some((l.to_string(), compiled_block(hv, l).span())),
+            HeapVal::Tuple { .. } => None,
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -1438,8 +1521,13 @@ impl<T: Tier> Machine<'_, T> {
         while pc < seq.instrs.len() {
             match &seq.instrs[pc] {
                 FastInstr::Protect => {
-                    // Typing-only; still one machine step (no event).
+                    // Typing-only; still one machine step, charged as
+                    // a plain instruction so every tick has exactly
+                    // one charging event (the profiler's invariant).
                     tick!(self);
+                    if self.trace {
+                        self.tracer.event(&Event::Instr);
+                    }
                     pc += 1;
                 }
                 FastInstr::Import { rd, ty, body } => {
@@ -1706,7 +1794,7 @@ impl<T: Tier> Machine<'_, T> {
         let compiled = match cached {
             Some(s) => s,
             None => {
-                let s = compiled_block(&hv);
+                let s = compiled_block(&hv, &self.mem.names[idx as usize]);
                 if let FastHeapVal::Code { seq, .. } = &mut self.mem.heap[idx as usize] {
                     *seq = Some(s.clone());
                 }
@@ -1923,7 +2011,7 @@ impl Tier for CursorTier {
         // When no label was renamed the entry is the shared
         // component's own sequence: reuse its cached compile.
         let seq = match merge.renamed_entry {
-            Some(entry) => Rc::new(compile_seq(&entry)),
+            Some(entry) => Rc::new(compile_seq(&entry, ambient_root())),
             None => compiled_entry(comp),
         };
         TCtrl {
@@ -1969,7 +2057,7 @@ pub fn run_fast(
                 .renamed_entry
                 .unwrap_or_else(|| c.seq.clone());
             Ctrl::T(TCtrl {
-                seq: Rc::new(compile_seq(&entry)),
+                seq: Rc::new(compile_seq(&entry, ambient_root())),
                 pc: 0,
                 env: Env::default(),
             })

@@ -15,15 +15,19 @@
 //!    particular all report `OutOfFuel` under exactly the same
 //!    bounds.
 
+use std::sync::Arc;
+
 use funtal::figures::*;
 use funtal::machine::{run, run_fexpr, EvalStrategy, FtOutcome, RunCfg};
 use funtal_compile::codegen::{compile_program, CodegenOpts};
 use funtal_compile::lang::{factorial_program, fib_program};
 use funtal_equiv::gen::{gen_context, gen_value, SplitMix};
 use funtal_syntax::build::*;
+use funtal_syntax::span::SpanTable;
 use funtal_syntax::{Component, FExpr, FTy};
 use funtal_tal::machine::Memory;
 use funtal_tal::trace::{NullTracer, VecTracer};
+use funtal_tal::{Profiler, RootLang};
 use proptest::prelude::*;
 
 /// Every strategy, oracle first.
@@ -375,6 +379,197 @@ fn prelowered_programs_match_environment_trace() {
                 tracer.events, bc_tracer.events,
                 "{name}: prelowered events (round {round})"
             );
+        }
+    }
+}
+
+/// Runs a component under a [`Profiler`] and returns the attribution
+/// state. The span table is empty — bucket names are still the real
+/// block labels, so byte-equality of the renderings is exactly as
+/// strong a claim as with recorded spans (the driver's tests cover
+/// span-resolved output).
+fn profile_with(comp: &Component, strategy: EvalStrategy, fuel: u64) -> Profiler {
+    let root = match comp {
+        Component::F(_) => RootLang::F,
+        Component::T(_) => RootLang::T,
+    };
+    let mut profiler = Profiler::new(Arc::new(SpanTable::default()), root);
+    let mut mem = Memory::new();
+    run(
+        &mut mem,
+        comp,
+        RunCfg::with_fuel(fuel).with_strategy(strategy),
+        &mut profiler,
+    )
+    .unwrap();
+    profiler
+}
+
+/// The cost-accounting certificate the profiler ships with: per-span
+/// attribution sums exactly to the run's total step count (= the
+/// minimal sufficient fuel), and the rendered profile is byte-identical
+/// on every execution tier.
+#[test]
+fn profiles_are_certified_across_tiers() {
+    let mut programs = figure_programs();
+    for (pname, p, fname, args) in [
+        ("fact", factorial_program(), "fact", vec![6i64]),
+        ("fib", fib_program(), "fib", vec![10]),
+    ] {
+        for tco in [false, true] {
+            let compiled = compile_program(&p, CodegenOpts { tail_call_opt: tco });
+            let call = app(
+                compiled.wrap(fname),
+                args.iter().map(|n| fint_e(*n)).collect(),
+            );
+            programs.push((
+                format!("compiled {pname}::{fname} tco={tco}"),
+                Component::F(call),
+            ));
+        }
+    }
+    for (name, comp) in programs {
+        let minimal = minimal_fuel(&comp, EvalStrategy::Substitution);
+        let oracle = profile_with(&comp, EvalStrategy::Substitution, 10_000_000);
+        // Every fuel tick is charged to exactly one span: the
+        // attributed total IS the minimal sufficient fuel...
+        assert_eq!(
+            oracle.total(),
+            minimal,
+            "{name}: profiled total != minimal sufficient fuel"
+        );
+        // ...the buckets partition it...
+        let bucket_sum: u64 = oracle.entries().iter().map(|r| r.ticks).sum();
+        assert_eq!(bucket_sum, oracle.total(), "{name}: buckets do not sum");
+        let folded_sum: u64 = oracle
+            .folded_lines()
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(folded_sum, oracle.total(), "{name}: folded does not sum");
+        // ...and both renderings are byte-identical on every tier.
+        for strategy in [EvalStrategy::Environment, EvalStrategy::Bytecode] {
+            let p = profile_with(&comp, strategy, 10_000_000);
+            assert_eq!(
+                oracle.render_table(),
+                p.render_table(),
+                "{name}: {strategy:?} profile table differs"
+            );
+            assert_eq!(
+                oracle.render_folded(),
+                p.render_folded(),
+                "{name}: {strategy:?} folded profile differs"
+            );
+        }
+    }
+}
+
+/// Satellite of the profiler work: sweep **every** fuel bound from 0
+/// to the minimal sufficient fuel on compiled programs (whose lowered
+/// form contains fused superinstructions), with tracing both on (the
+/// bytecode VM's faithful per-constituent route) and off (the fused
+/// net-effect route). Outcomes and event streams must agree at every
+/// bound — in particular at `minimal - 1`, the exhaustion boundary a
+/// fused multi-step charge could mis-handle.
+#[test]
+fn fuel_exhaustion_at_every_bound_agrees_across_tiers() {
+    for (pname, p, fname, args) in [
+        ("fact", factorial_program(), "fact", vec![4i64]),
+        ("fib", fib_program(), "fib", vec![7]),
+    ] {
+        for tco in [false, true] {
+            let compiled = compile_program(&p, CodegenOpts { tail_call_opt: tco });
+            let call = app(
+                compiled.wrap(fname),
+                args.iter().map(|n| fint_e(*n)).collect(),
+            );
+            let comp = Component::F(call);
+            let minimal = minimal_fuel(&comp, EvalStrategy::Substitution);
+            for fuel in 0..=minimal {
+                let (sub, sub_events) = run_with(&comp, EvalStrategy::Substitution, fuel);
+                assert_eq!(
+                    sub == Ok(FtOutcome::OutOfFuel),
+                    fuel < minimal,
+                    "{pname} tco={tco}: exhaustion boundary off at fuel {fuel}"
+                );
+                for strategy in [EvalStrategy::Environment, EvalStrategy::Bytecode] {
+                    let (out, events) = run_with(&comp, strategy, fuel);
+                    assert_eq!(
+                        sub, out,
+                        "{pname} tco={tco} fuel={fuel}: {strategy:?} outcome differs"
+                    );
+                    assert_eq!(
+                        sub_events, events,
+                        "{pname} tco={tco} fuel={fuel}: {strategy:?} events differ"
+                    );
+                    let mut mem = Memory::new();
+                    let untraced = run(
+                        &mut mem,
+                        &comp,
+                        RunCfg::with_fuel(fuel).with_strategy(strategy),
+                        &mut NullTracer,
+                    )
+                    .map_err(|e| e.to_string());
+                    assert_eq!(
+                        sub, untraced,
+                        "{pname} tco={tco} fuel={fuel}: {strategy:?} untraced outcome differs"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fresh-seed certification: the profile of a generated program is
+    /// byte-identical across tiers and its total equals the minimal
+    /// sufficient fuel.
+    #[test]
+    fn generated_corpus_profiles_agree(seed in 0u32..u32::MAX) {
+        let seed = u64::from(seed);
+        if let Some((name, prog)) = corpus_program(seed) {
+            let comp = Component::F(prog);
+            let minimal = minimal_fuel(&comp, EvalStrategy::Substitution);
+            let oracle = profile_with(&comp, EvalStrategy::Substitution, minimal);
+            prop_assert_eq!(
+                oracle.total(), minimal,
+                "{}: profiled total != minimal sufficient fuel", name
+            );
+            for strategy in [EvalStrategy::Environment, EvalStrategy::Bytecode] {
+                let p = profile_with(&comp, strategy, minimal);
+                prop_assert_eq!(
+                    oracle.render_table(), p.render_table(),
+                    "{}: {:?} profile table differs", name, strategy
+                );
+                prop_assert_eq!(
+                    oracle.render_folded(), p.render_folded(),
+                    "{}: {:?} folded profile differs", name, strategy
+                );
+            }
+        }
+    }
+
+    /// Random fuel bounds over larger compiled programs: the sweep
+    /// above is exhaustive on small inputs; this samples the same
+    /// property where the sweep would be quadratic.
+    #[test]
+    fn random_fuel_bounds_agree_on_compiled_programs(fuel in 0u32..3_000, pick in 0usize..2) {
+        let fuel = u64::from(fuel);
+        let (p, fname, args) = if pick == 0 {
+            (factorial_program(), "fact", vec![6i64])
+        } else {
+            (fib_program(), "fib", vec![10])
+        };
+        let compiled = compile_program(&p, CodegenOpts { tail_call_opt: true });
+        let call = app(compiled.wrap(fname), args.iter().map(|n| fint_e(*n)).collect());
+        let comp = Component::F(call);
+        let (sub, sub_events) = run_with(&comp, EvalStrategy::Substitution, fuel);
+        for strategy in [EvalStrategy::Environment, EvalStrategy::Bytecode] {
+            let (out, events) = run_with(&comp, strategy, fuel);
+            prop_assert_eq!(&sub, &out, "fuel={}: {:?} outcome differs", fuel, strategy);
+            prop_assert_eq!(&sub_events, &events, "fuel={}: {:?} events differ", fuel, strategy);
         }
     }
 }

@@ -58,6 +58,8 @@ pub enum JobKind {
         fuel: Option<u64>,
         /// Per-job execution-tier override (engine default otherwise).
         tier: Option<ExecTier>,
+        /// Attach a span-attributed fuel profile to the result.
+        profile: bool,
     },
     /// Parse + compile a MiniF source; optionally apply a definition.
     Compile {
@@ -68,6 +70,16 @@ pub enum JobKind {
         /// Apply `(name, integer arguments)` after compiling.
         call: Option<(String, Vec<i64>)>,
     },
+    /// A job line that failed to parse. Carrying the rejection as a
+    /// job keeps one poison line from aborting the rest of the stream:
+    /// it executes to its own per-line error result, in order, and
+    /// every other job still runs.
+    Invalid {
+        /// Stage of the error that rejected the line.
+        stage: &'static str,
+        /// Its bare message.
+        message: String,
+    },
 }
 
 impl JobKind {
@@ -76,6 +88,7 @@ impl JobKind {
             JobKind::Check { .. } => "check",
             JobKind::Run { .. } => "run",
             JobKind::Compile { .. } => "compile",
+            JobKind::Invalid { .. } => "invalid",
         }
     }
 }
@@ -98,6 +111,7 @@ impl Job {
                 src: src.into(),
                 fuel: None,
                 tier: None,
+                profile: false,
             },
         }
     }
@@ -110,6 +124,7 @@ impl Job {
                 src: src.into(),
                 fuel: None,
                 tier: Some(tier),
+                profile: false,
             },
         }
     }
@@ -212,6 +227,12 @@ impl Job {
                     }
                     None => None,
                 },
+                profile: match v.get("profile") {
+                    Some(j) => j.as_bool().ok_or_else(|| {
+                        FunTalError::driver(format!("job {id}: `profile` must be a boolean"))
+                    })?,
+                    None => false,
+                },
             },
             "compile" => {
                 let tco = match v.get("tco") {
@@ -263,18 +284,47 @@ impl Job {
 
     /// Parses a JSON-lines job stream (blank lines and `#` comment
     /// lines are skipped; ids default to the 1-based line number).
-    pub fn parse_jsonl(text: &str) -> Result<Vec<Job>, FunTalError> {
+    ///
+    /// Never fails: a malformed line becomes a [`JobKind::Invalid`]
+    /// job that executes to its own per-line error result, so one
+    /// poison line mid-stream cannot abort the jobs after it. The
+    /// invalid job echoes the line's `id` field when one is readable,
+    /// and preserves the rejecting error's stage and message so the
+    /// result line renders the diagnostic verbatim.
+    pub fn parse_jsonl(text: &str) -> Vec<Job> {
         let mut jobs = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let v = Json::parse(line)
-                .map_err(|e| FunTalError::driver(format!("jobs line {}: {e}", lineno + 1)))?;
-            jobs.push(Job::from_json(&v, &format!("job{}", lineno + 1))?);
+            let fallback = format!("job{}", lineno + 1);
+            let job = match Json::parse(line) {
+                Err(e) => Job {
+                    id: fallback,
+                    kind: JobKind::Invalid {
+                        stage: "driver",
+                        message: format!("jobs line {}: {e}", lineno + 1),
+                    },
+                },
+                Ok(v) => match Job::from_json(&v, &fallback) {
+                    Ok(job) => job,
+                    Err(e) => Job {
+                        id: match v.get("id") {
+                            Some(Json::Str(s)) => s.clone(),
+                            Some(Json::Int(n)) => n.to_string(),
+                            _ => fallback,
+                        },
+                        kind: JobKind::Invalid {
+                            stage: e.stage(),
+                            message: e.message(),
+                        },
+                    },
+                },
+            };
+            jobs.push(job);
         }
-        Ok(jobs)
+        jobs
     }
 }
 
@@ -294,6 +344,9 @@ pub enum JobSuccess {
         outcome: FtOutcome,
         /// Step counts by class.
         counts: CountTracer,
+        /// The span-attributed fuel profile, when the job asked for
+        /// one (`"profile": true`), already in JSON form.
+        profile: Option<Json>,
     },
     /// `compile`: the compiled bundle's shape.
     Compiled {
@@ -338,6 +391,7 @@ impl JobOutcome {
                 ty,
                 outcome,
                 counts,
+                profile,
             }) => {
                 fields.push(("type", Json::Str(ty.clone())));
                 match outcome {
@@ -355,6 +409,9 @@ impl JobOutcome {
                         ("crossings", Json::Int(counts.crossings as i64)),
                     ]),
                 ));
+                if let Some(p) = profile {
+                    fields.push(("profile", p.clone()));
+                }
             }
             Ok(JobSuccess::Compiled { defs, blocks, call }) => {
                 fields.push((
@@ -586,7 +643,12 @@ impl Batch {
                 let (_, ty) = self.parse_and_check(src)?;
                 Ok(JobSuccess::Checked { ty: ty.to_string() })
             }
-            JobKind::Run { src, fuel, tier } => {
+            JobKind::Run {
+                src,
+                fuel,
+                tier,
+                profile,
+            } => {
                 let (parsed, ty) = self.parse_and_check(src)?;
                 let mut pipeline = self.pipeline.clone();
                 if let Some(f) = fuel {
@@ -599,13 +661,32 @@ impl Batch {
                 // without re-checking. Bytecode runs go through the
                 // lowered-artifact cache, so only the first job per
                 // distinct program pays for register allocation.
-                let report: RunReport = if pipeline.tier() == EvalStrategy::Bytecode {
-                    let lowered = self
-                        .cache
-                        .lower_keyed(&parsed.check_key, || funtal::prelower(&parsed.expr));
-                    pipeline.run_prelowered(&lowered, (*ty).clone())?
+                let bytecode = pipeline.tier() == EvalStrategy::Bytecode;
+                let lowered = bytecode.then(|| {
+                    self.cache
+                        .lower_keyed(&parsed.check_key, || funtal::prelower(&parsed.expr))
+                });
+                let (report, profile): (RunReport, Option<Json>) = if *profile {
+                    let profiled = match &lowered {
+                        Some(lowered) => pipeline.profile_prelowered(
+                            lowered,
+                            (*ty).clone(),
+                            parsed.spans.clone(),
+                        )?,
+                        None => pipeline.profile_prechecked(
+                            &parsed.expr,
+                            (*ty).clone(),
+                            parsed.spans.clone(),
+                        )?,
+                    };
+                    let json = profiled.profile_json();
+                    (profiled.run, Some(json))
                 } else {
-                    pipeline.run_prechecked(&parsed.expr, (*ty).clone())?
+                    let report = match &lowered {
+                        Some(lowered) => pipeline.run_prelowered(lowered, (*ty).clone())?,
+                        None => pipeline.run_prechecked(&parsed.expr, (*ty).clone())?,
+                    };
+                    (report, None)
                 };
                 if matches!(report.outcome, FtOutcome::OutOfFuel) {
                     return Err(FunTalError::OutOfFuel {
@@ -616,6 +697,7 @@ impl Batch {
                     ty: report.ty.to_string(),
                     outcome: report.outcome,
                     counts: report.counts,
+                    profile,
                 })
             }
             JobKind::Compile { src, tco, call } => {
@@ -644,6 +726,10 @@ impl Batch {
                     call,
                 })
             }
+            JobKind::Invalid { stage, message } => Err(FunTalError::BadJob {
+                stage,
+                message: message.clone(),
+            }),
         }
     }
 
@@ -654,7 +740,7 @@ impl Batch {
         &self,
         src: &str,
     ) -> Result<(Arc<crate::cache::Parsed>, Arc<funtal_syntax::FTy>), FunTalError> {
-        let parsed = self.cache.parse(src, || self.pipeline.parse(src))?;
+        let parsed = self.cache.parse(src, || self.pipeline.parse_spanned(src))?;
         let ty = self
             .cache
             .check_keyed(&parsed.check_key, || self.pipeline.check(&parsed.expr))?;
@@ -673,8 +759,7 @@ mod tests {
             "{\"id\":\"a\",\"cmd\":\"run\",\"src\":\"1 + 2\"}\n",
             "\n",
             "{\"cmd\":\"compile\",\"src\":\"fn f(n) = n\",\"call\":\"f\",\"args\":[7]}\n",
-        ))
-        .unwrap();
+        ));
         assert_eq!(jobs.len(), 2);
         assert_eq!(jobs[0].id, "a");
         assert_eq!(jobs[1].id, "job4");
@@ -689,15 +774,79 @@ mod tests {
     }
 
     #[test]
-    fn bad_jobs_are_rejected() {
+    fn bad_jobs_become_invalid_jobs() {
         for line in [
             "{\"cmd\":\"run\"}",                           // no src
             "{\"src\":\"1\"}",                             // no cmd
             "{\"cmd\":\"frobnicate\",\"src\":\"1\"}",      // unknown cmd
             "{\"cmd\":\"run\",\"src\":\"1\",\"fuel\":-3}", // bad fuel
+            "{not json",                                   // not JSON at all
         ] {
-            assert!(Job::parse_jsonl(line).is_err(), "accepted: {line}");
+            let jobs = Job::parse_jsonl(line);
+            assert_eq!(jobs.len(), 1, "line dropped: {line}");
+            assert!(
+                matches!(jobs[0].kind, JobKind::Invalid { .. }),
+                "accepted: {line}"
+            );
         }
+        // A readable `id` on a malformed line is still echoed.
+        let jobs = Job::parse_jsonl("{\"id\":\"keepme\",\"cmd\":\"run\"}");
+        assert_eq!(jobs[0].id, "keepme");
+    }
+
+    #[test]
+    fn poison_line_mid_stream_does_not_abort_later_jobs() {
+        let jobs = Job::parse_jsonl(concat!(
+            "{\"id\":\"ok1\",\"cmd\":\"run\",\"src\":\"1 + 2\"}\n",
+            "{\"id\":\"bad\",\"cmd\":\"run\"}\n",
+            "this is not json\n",
+            "{\"id\":\"ok2\",\"cmd\":\"run\",\"src\":\"2 * 3\"}\n",
+        ));
+        assert_eq!(jobs.len(), 4);
+        let report = Batch::new(Pipeline::new()).run(&jobs);
+        assert_eq!(report.ok_count(), 2);
+        assert_eq!(report.err_count(), 2);
+        let lines: Vec<String> = report
+            .outcomes
+            .iter()
+            .map(|o| o.to_json().to_string())
+            .collect();
+        assert!(lines[0].contains("\"value\":\"3\""), "{}", lines[0]);
+        // The per-line error preserves the rejecting diagnostic.
+        assert!(
+            lines[1].contains("\"id\":\"bad\"")
+                && lines[1].contains("\"cmd\":\"invalid\"")
+                && lines[1].contains("needs a `src` or `file` field"),
+            "{}",
+            lines[1]
+        );
+        assert!(
+            lines[2].contains("\"id\":\"job3\"") && lines[2].contains("jobs line 3"),
+            "{}",
+            lines[2]
+        );
+        // The job after the poison lines still ran.
+        assert!(lines[3].contains("\"value\":\"6\""), "{}", lines[3]);
+    }
+
+    #[test]
+    fn profiled_jobs_attach_a_profile_field() {
+        let batch = Batch::new(Pipeline::new());
+        let jobs = Job::parse_jsonl(concat!(
+            "{\"id\":\"p\",\"cmd\":\"run\",\"src\":\"1 + 2\",\"profile\":true}\n",
+            "{\"id\":\"q\",\"cmd\":\"run\",\"src\":\"1 + 2\"}\n",
+        ));
+        let report = batch.run(&jobs);
+        let p = report.outcomes[0].to_json().to_string();
+        let q = report.outcomes[1].to_json().to_string();
+        assert!(
+            p.contains("\"profile\":{") && p.contains("\"spans\":") && p.contains("\"folded\":"),
+            "{p}"
+        );
+        assert!(!q.contains("\"profile\""), "{q}");
+        // The attribution total equals the run's total step count for
+        // a pure-F program (every tick is a charging F step).
+        assert!(p.contains("\"total\":1"), "{p}");
     }
 
     #[test]
@@ -750,18 +899,25 @@ mod tests {
     fn tier_field_parses_and_bad_tiers_are_rejected() {
         let jobs = Job::parse_jsonl(
             "{\"id\":\"b\",\"cmd\":\"run\",\"src\":\"1 + 2\",\"tier\":\"bytecode\"}\n",
-        )
-        .unwrap();
+        );
         assert_eq!(
             jobs[0].kind,
             JobKind::Run {
                 src: "1 + 2".to_string(),
                 fuel: None,
                 tier: Some(EvalStrategy::Bytecode),
+                profile: false,
             }
         );
-        assert!(Job::parse_jsonl("{\"cmd\":\"run\",\"src\":\"1\",\"tier\":\"jit\"}").is_err());
-        assert!(Job::parse_jsonl("{\"cmd\":\"run\",\"src\":\"1\",\"tier\":7}").is_err());
+        for line in [
+            "{\"cmd\":\"run\",\"src\":\"1\",\"tier\":\"jit\"}",
+            "{\"cmd\":\"run\",\"src\":\"1\",\"tier\":7}",
+        ] {
+            assert!(
+                matches!(Job::parse_jsonl(line)[0].kind, JobKind::Invalid { .. }),
+                "accepted: {line}"
+            );
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use funtal_syntax::hash::{hash_fexpr, StableHasher};
+use funtal_syntax::span::SpanTable;
 use funtal_syntax::{FExpr, FTy};
 
 use crate::report::CompiledMiniF;
@@ -153,6 +154,8 @@ pub struct Parsed {
     pub expr: FExpr,
     /// Its canonical rendering (the typecheck cache key).
     pub check_key: String,
+    /// Source spans of the term's heap labels, for profiled runs.
+    pub spans: Arc<SpanTable>,
 }
 
 /// The shared content-addressed cache for parse, typecheck, and MiniF
@@ -208,17 +211,18 @@ impl ArtifactCache {
     pub fn parse<E>(
         &self,
         src: &str,
-        compute: impl FnOnce() -> Result<FExpr, E>,
+        compute: impl FnOnce() -> Result<(FExpr, SpanTable), E>,
     ) -> Result<Arc<Parsed>, E> {
         if let Some(found) = self.parse.map.lock().expect("cache poisoned").get(src) {
             self.parse.counters.hit();
             return Ok(found.clone());
         }
         self.parse.counters.miss();
-        let expr = compute()?;
+        let (expr, spans) = compute()?;
         let value = Arc::new(Parsed {
             check_key: expr.to_string(),
             expr,
+            spans: Arc::new(spans),
         });
         self.parse
             .map
@@ -344,7 +348,10 @@ mod tests {
         let cache = ArtifactCache::new();
         let parse = |src: &str| {
             cache.parse(src, || {
-                Ok::<_, std::convert::Infallible>(funtal_syntax::build::fint_e(1))
+                Ok::<_, std::convert::Infallible>((
+                    funtal_syntax::build::fint_e(1),
+                    SpanTable::default(),
+                ))
             })
         };
         parse("1").unwrap();
@@ -361,7 +368,9 @@ mod tests {
         let r1: Result<_, String> = cache.parse("bad", || Err("nope".to_string()));
         assert!(r1.is_err());
         // The failed computation did not populate the cache.
-        let r2 = cache.parse("bad", || Ok::<_, String>(funtal_syntax::build::funit_e()));
+        let r2 = cache.parse("bad", || {
+            Ok::<_, String>((funtal_syntax::build::funit_e(), SpanTable::default()))
+        });
         assert!(r2.is_ok());
         let s = cache.stats().parse;
         assert_eq!((s.hits, s.misses), (0, 2));
@@ -391,10 +400,14 @@ mod tests {
         let a = funtal_syntax::build::fint_e(1);
         let b = funtal_syntax::build::fint_e(2);
         cache
-            .parse("src-a", || Ok::<_, std::convert::Infallible>(a.clone()))
+            .parse("src-a", || {
+                Ok::<_, std::convert::Infallible>((a.clone(), SpanTable::default()))
+            })
             .unwrap();
         cache
-            .parse("src-b", || Ok::<_, std::convert::Infallible>(b.clone()))
+            .parse("src-b", || {
+                Ok::<_, std::convert::Infallible>((b.clone(), SpanTable::default()))
+            })
             .unwrap();
         // A compute closure that fails proves the lookup was a hit.
         let got_a = cache.parse("src-a", || Err("expected a hit".to_string()));

@@ -37,6 +37,17 @@ pub enum FunTalError {
     /// A driver-level condition (bad CLI usage, operand type
     /// disagreement in `equiv`, missing definition, ...).
     Driver(String),
+    /// A malformed batch/serve job line, carried as a job of its own
+    /// so one poison line cannot abort the rest of the stream. The
+    /// original error's stage and message are preserved, so the
+    /// per-line result renders exactly as the rejecting error would
+    /// (job-line errors never carry a source position).
+    BadJob {
+        /// The stage of the error that rejected the line.
+        stage: &'static str,
+        /// Its bare message.
+        message: String,
+    },
     /// An I/O error, tagged with the path involved.
     Io {
         /// The file being read or written.
@@ -66,6 +77,7 @@ impl FunTalError {
             FunTalError::Runtime(_) | FunTalError::OutOfFuel { .. } => "run",
             FunTalError::MiniF(_) => "minif",
             FunTalError::Driver(_) => "driver",
+            FunTalError::BadJob { stage, .. } => stage,
             FunTalError::Io { .. } => "io",
         }
     }
@@ -93,6 +105,7 @@ impl FunTalError {
                 format!("out of fuel after {fuel} steps (raise with --fuel)")
             }
             FunTalError::Driver(msg) => msg.clone(),
+            FunTalError::BadJob { message, .. } => message.clone(),
             FunTalError::Io { path, cause } => format!("{path}: {cause}"),
         }
     }
@@ -187,6 +200,14 @@ mod tests {
             cause: "No such file".to_string(),
         };
         assert_eq!(io.to_string(), "error[io]: missing.ft: No such file");
+
+        // BadJob re-renders the rejecting error verbatim.
+        let original = FunTalError::driver("job j1: missing `cmd` field");
+        let bad = FunTalError::BadJob {
+            stage: original.stage(),
+            message: original.message(),
+        };
+        assert_eq!(bad.to_string(), original.to_string());
     }
 
     /// Display = envelope + message, and the envelope fields come from

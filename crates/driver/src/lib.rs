@@ -37,21 +37,25 @@ pub mod json;
 pub mod minif;
 pub mod report;
 
+use std::sync::Arc;
+
 use funtal::machine::{run, run_fexpr, EvalStrategy, ExecTier, FtOutcome, RunCfg};
-use funtal::LoweredProgram;
+use funtal::{LoweredProgram, SpanScope};
 use funtal_compile::codegen::{compile_program, CodegenOpts, Compiled};
 use funtal_compile::lang::Program;
 use funtal_equiv::{equivalent, EquivCfg, Verdict};
 use funtal_parser::lex::Tok;
 use funtal_syntax::alpha::alpha_eq_fty;
 use funtal_syntax::build::{app, fint_e};
+use funtal_syntax::span::SpanTable;
 use funtal_syntax::{Component, FExpr, FTy};
 use funtal_tal::trace::{CountTracer, Tracer, VecTracer};
+use funtal_tal::{Profiler, RootLang};
 
 pub use batch::{Batch, BatchReport, Job, JobKind, JobOutcome, JobSuccess};
 pub use cache::{ArtifactCache, CacheStats};
 pub use error::FunTalError;
-pub use report::{Checked, CompiledMiniF, RunReport, TraceReport};
+pub use report::{Checked, CompiledMiniF, ProfileReport, RunReport, TraceReport};
 
 /// Parses an execution-tier (= evaluation-strategy) name as the CLI
 /// flags and the batch job protocol spell them.
@@ -183,6 +187,13 @@ impl Pipeline {
         Ok(funtal_parser::parse_fexpr(src)?)
     }
 
+    /// Parses an FT expression together with the side table of source
+    /// spans for its heap labels — the attribution table the profiler
+    /// resolves block names through.
+    pub fn parse_spanned(&self, src: &str) -> Result<(FExpr, SpanTable), FunTalError> {
+        Ok(funtal_parser::parse_fexpr_spanned(src)?)
+    }
+
     // --- stage 3: typecheck -----------------------------------------------
 
     /// Type-checks a closed FT expression (Fig 7) and returns its type.
@@ -292,6 +303,110 @@ impl Pipeline {
             counts,
             fuel: self.fuel,
         })
+    }
+
+    /// Profiles an expression whose type is already known: evaluates
+    /// it with a [`Profiler`] tracer that charges every fuel tick to
+    /// the source span responsible for it.
+    ///
+    /// The profile is a pure function of the program — the three
+    /// execution tiers emit byte-identical renderings (certified by
+    /// the differential tests), so a profile taken on the fast tier
+    /// speaks for the paper-literal oracle too. The span scope is
+    /// installed for the duration so blocks compiled during the run
+    /// also bake their spans for the introspection APIs.
+    pub fn profile_prechecked(
+        &self,
+        e: &FExpr,
+        ty: FTy,
+        spans: Arc<SpanTable>,
+    ) -> Result<ProfileReport, FunTalError> {
+        let mut profiler = Profiler::new(spans.clone(), RootLang::F);
+        let outcome = {
+            let _scope = SpanScope::install(spans);
+            run_fexpr(e, self.run_cfg(), &mut profiler)?
+        };
+        let counts = profiler.counts;
+        Ok(ProfileReport {
+            run: RunReport {
+                ty,
+                outcome,
+                counts,
+                fuel: self.fuel,
+            },
+            profiler,
+        })
+    }
+
+    /// Profiles a pre-lowered bytecode program — the bytecode-tier
+    /// analogue of [`profile_prechecked`](Pipeline::profile_prechecked).
+    /// An enabled tracer makes the bytecode VM take its faithful
+    /// per-instruction route through fused superinstructions, so every
+    /// constituent's tick is attributed to its own span.
+    pub fn profile_prelowered(
+        &self,
+        lowered: &LoweredProgram,
+        ty: FTy,
+        spans: Arc<SpanTable>,
+    ) -> Result<ProfileReport, FunTalError> {
+        let mut profiler = Profiler::new(spans.clone(), RootLang::F);
+        let outcome = {
+            let _scope = SpanScope::install(spans);
+            funtal::run_prelowered(lowered, self.run_cfg(), &mut profiler)?
+        };
+        let counts = profiler.counts;
+        Ok(ProfileReport {
+            run: RunReport {
+                ty,
+                outcome,
+                counts,
+                fuel: self.fuel,
+            },
+            profiler,
+        })
+    }
+
+    /// Parse (with spans) + typecheck + profiled evaluation in one
+    /// step — what `funtal profile` runs on `.ft` files.
+    pub fn profile_source(&self, src: &str) -> Result<ProfileReport, FunTalError> {
+        let (e, spans) = self.parse_spanned(src)?;
+        let ty = self.check(&e)?;
+        self.profile_prechecked(&e, ty, Arc::new(spans))
+    }
+
+    /// Profiles a compiled MiniF definition applied to integer
+    /// arguments. `def_spans` comes from
+    /// [`minif::parse_minif_spanned`]; every generated block is named
+    /// `<def>` or `<def>_<hint><n>`, so blocks attribute to the
+    /// longest definition-name prefix. The boundary wrapper is
+    /// generated code and keeps a synthetic root span.
+    pub fn profile_compiled(
+        &self,
+        compiled: &CompiledMiniF,
+        name: &str,
+        args: &[i64],
+        def_spans: &[(String, funtal_syntax::span::Span)],
+    ) -> Result<ProfileReport, FunTalError> {
+        let f = compiled
+            .wrapped_fexpr(name)
+            .ok_or_else(|| FunTalError::driver(format!("no definition named `{name}`")))?;
+        let call = app(f.clone(), args.iter().map(|n| fint_e(*n)).collect());
+        let ty = self.check(&call)?;
+        let mut table = SpanTable::new();
+        for (label, _) in &compiled.compiled.heap {
+            let l = label.as_str();
+            let best = def_spans
+                .iter()
+                .filter(|(n, _)| {
+                    l == n.as_str()
+                        || (l.starts_with(n.as_str()) && l.as_bytes().get(n.len()) == Some(&b'_'))
+                })
+                .max_by_key(|(n, _)| n.len());
+            if let Some((_, span)) = best {
+                table.record(l, *span);
+            }
+        }
+        self.profile_prechecked(&call, ty, Arc::new(table))
     }
 
     /// Like [`run`](Pipeline::run), with a caller-supplied tracer

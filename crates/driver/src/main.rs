@@ -5,6 +5,7 @@
 //! funtal check   FILE.ft...            parse + typecheck, print each type
 //! funtal run     FILE.ft [--trace]     evaluate to a value (--steps, --guard, --fuel N)
 //! funtal trace   FILE.ft               evaluate, print the control-flow diagram
+//! funtal profile FILE.ft               evaluate, print the span-attributed fuel profile
 //! funtal compile FILE.mf [--tco]       compile MiniF to T (--call NAME ARGS.. to run)
 //! funtal equiv   A.ft B.ft             bounded logical-relation comparison
 //! ```
@@ -26,6 +27,10 @@ COMMANDS:
     run      FILE.ft        typecheck and evaluate; print the resulting value
     trace    FILE.ft        like `run`, but print the control-flow diagram
                             (Fig 4 / Fig 12 of the paper)
+    profile  FILE.ft|.mf    like `run`, but print where the fuel went: a
+                            hot-span table attributing every machine step
+                            to its source region (.mf needs --call; the
+                            profile is identical on every --tier)
     compile  FILE.mf        compile a MiniF program to T assembly and print
                             the boundary-wrapped result
     equiv    A.ft B.ft      compare two programs with the bounded logical
@@ -49,6 +54,8 @@ OPTIONS:
     --guard         enable the dynamic type-safety guard at T jumps
     --steps         print step counts after `run`
     --trace         with `run`: also print the control-flow diagram
+    --format F      with `profile`: `table` (default), `folded`
+                    (flamegraph-collapsed stack lines), or `json`
     --tco           with `compile`: loopify self tail calls
     --call NAME N.. with `compile`: apply definition NAME to integer
                     arguments and print the value
@@ -72,6 +79,7 @@ struct Opts {
     trace: bool,
     tco: bool,
     call: Option<(String, Vec<i64>)>,
+    format: String,
     samples: usize,
     seed: u64,
     depth: u32,
@@ -90,6 +98,7 @@ fn parse_args(args: &[String]) -> Result<Opts, FunTalError> {
         trace: false,
         tco: false,
         call: None,
+        format: "table".to_string(),
         samples: defaults.samples,
         seed: defaults.seed,
         depth: defaults.depth,
@@ -114,6 +123,16 @@ fn parse_args(args: &[String]) -> Result<Opts, FunTalError> {
                          (use `environment`, `substitution`, or `bytecode`)"
                     ))
                 })?;
+            }
+            "--format" => {
+                let name = take(args, &mut i, "--format")?;
+                if !matches!(name.as_str(), "table" | "folded" | "json") {
+                    return Err(FunTalError::driver(format!(
+                        "--format: `{name}` is not a profile format \
+                         (use `table`, `folded`, or `json`)"
+                    )));
+                }
+                o.format = name;
             }
             "--guard" => o.guard = true,
             "--steps" => o.steps = true,
@@ -249,6 +268,38 @@ fn cmd_trace(o: &Opts) -> Result<(), FunTalError> {
     Ok(())
 }
 
+fn cmd_profile(o: &Opts) -> Result<(), FunTalError> {
+    let file = one_file(o, "profile")?;
+    let p = pipeline(o);
+    let src = read_file(file)?;
+    let report = if file.ends_with(".mf") {
+        let Some((name, args)) = &o.call else {
+            return Err(FunTalError::driver(
+                "`funtal profile` over a .mf file needs --call NAME ARGS..",
+            ));
+        };
+        let (program, def_spans) = funtal_driver::minif::parse_minif_spanned(&src)?;
+        let bundle = p.compile_minif(&program)?;
+        p.profile_compiled(&bundle, name, args, &def_spans)?
+    } else {
+        p.profile_source(&src)?
+    };
+    if matches!(report.run.outcome, funtal::machine::FtOutcome::OutOfFuel) {
+        return Err(FunTalError::OutOfFuel { fuel: o.run_fuel() });
+    }
+    match o.format.as_str() {
+        // Pure folded lines: pipe straight into flamegraph tooling.
+        "folded" => print!("{}", report.profiler.render_folded()),
+        "json" => println!("{}", report.profile_json()),
+        _ => {
+            println!("type:   {}", report.run.ty);
+            println!("{}", report.run.outcome_line());
+            print!("{}", report.profiler.render_table());
+        }
+    }
+    Ok(())
+}
+
 fn cmd_compile(o: &Opts) -> Result<(), FunTalError> {
     let file = one_file(o, "compile")?;
     let p = pipeline(o);
@@ -305,9 +356,9 @@ fn batch_jobs(o: &Opts) -> Result<Vec<Job>, FunTalError> {
                     path: "<stdin>".to_string(),
                     cause: e.to_string(),
                 })?;
-            jobs.extend(Job::parse_jsonl(&text)?);
+            jobs.extend(Job::parse_jsonl(&text));
         } else if file.ends_with(".jsonl") || file.ends_with(".json") {
-            jobs.extend(Job::parse_jsonl(&read_file(file)?)?);
+            jobs.extend(Job::parse_jsonl(&read_file(file)?));
         } else if file.ends_with(".mf") {
             let mut job = Job::compile(file.clone(), read_file(file)?);
             if let (
@@ -466,6 +517,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(&o),
         "run" => cmd_run(&o),
         "trace" => cmd_trace(&o),
+        "profile" => cmd_profile(&o),
         "compile" => cmd_compile(&o),
         "equiv" => cmd_equiv(&o),
         "batch" => cmd_batch(&o),

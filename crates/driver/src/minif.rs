@@ -28,6 +28,7 @@
 use funtal_compile::lang::{Def, MExpr, Program};
 use funtal_parser::lex::{lex, Tok, TokKind};
 use funtal_parser::parse::ParseError;
+use funtal_syntax::span::Span;
 use funtal_syntax::ArithOp;
 
 use crate::error::FunTalError;
@@ -210,11 +211,35 @@ impl P {
 
 /// Parses and validates a MiniF program (one or more `fn` definitions).
 pub fn parse_minif(src: &str) -> Result<Program, FunTalError> {
+    Ok(parse_minif_spanned(src)?.0)
+}
+
+/// Like [`parse_minif`], but also returns the source span of each
+/// definition (its `fn` keyword through the start of its last token),
+/// keyed by function name. The §6 compiler names every generated block
+/// after the definition it came from, so these spans let the profiler
+/// attribute assembly ticks back to `.mf` source lines.
+pub fn parse_minif_spanned(src: &str) -> Result<(Program, Vec<(String, Span)>), FunTalError> {
     let toks = lex(src)?;
     let mut p = P { toks, pos: 0 };
     let mut defs = Vec::new();
+    let mut spans = Vec::new();
     while p.at_keyword("fn") {
-        defs.push(p.def()?);
+        let (line, col) = p.here();
+        let def = p.def()?;
+        // `pos` now sits on the token after the body; the previous
+        // token is the last one the definition consumed.
+        let last = &p.toks[p.pos.saturating_sub(1)];
+        spans.push((
+            def.name.clone(),
+            Span {
+                line,
+                col,
+                end_line: last.line,
+                end_col: last.col,
+            },
+        ));
+        defs.push(def);
     }
     if *p.peek() != TokKind::Eof {
         return Err(p.err("expected `fn` or end of input").into());
@@ -224,5 +249,5 @@ pub fn parse_minif(src: &str) -> Result<Program, FunTalError> {
             .err("a MiniF program needs at least one `fn` definition")
             .into());
     }
-    Ok(Program::new(defs)?)
+    Ok((Program::new(defs)?, spans))
 }

@@ -8,8 +8,10 @@ use funtal_compile::codegen::Compiled;
 use funtal_compile::lang::Program;
 use funtal_syntax::{FExpr, FTy};
 use funtal_tal::trace::{CountTracer, Event};
+use funtal_tal::Profiler;
 
 use crate::error::FunTalError;
+use crate::json::{obj, Json};
 
 /// A parsed and type-checked FT expression.
 #[derive(Clone, Debug)]
@@ -72,6 +74,70 @@ fn format_counts_line(c: &CountTracer) -> String {
         c.transfers,
         c.crossings,
     )
+}
+
+/// The result of a profiled run: everything in a [`RunReport`] plus
+/// the span-attributed fuel profile.
+#[derive(Clone, Debug)]
+pub struct ProfileReport {
+    /// The ordinary run report (type, outcome, counts, fuel bound).
+    pub run: RunReport,
+    /// The attribution state after the run: per-span tick buckets,
+    /// folded stacks, and boundary-crossing counters.
+    pub profiler: Profiler,
+}
+
+impl ProfileReport {
+    /// The JSON payload embedded as the `"profile"` field of batch and
+    /// serve result lines, and printed by `funtal profile --format
+    /// json`. Purely a function of the program, so byte-comparable
+    /// across runs, worker counts, and execution tiers.
+    pub fn profile_json(&self) -> Json {
+        obj([
+            ("total", Json::Int(self.profiler.total() as i64)),
+            (
+                "spans",
+                Json::Arr(
+                    self.profiler
+                        .entries()
+                        .iter()
+                        .map(|row| {
+                            obj([
+                                ("name", Json::Str(row.name.clone())),
+                                ("source", Json::Str(row.span.to_string())),
+                                ("ticks", Json::Int(row.ticks as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "folded",
+                Json::Arr(
+                    self.profiler
+                        .folded_lines()
+                        .into_iter()
+                        .map(Json::Str)
+                        .collect(),
+                ),
+            ),
+            (
+                "crossings",
+                obj([
+                    (
+                        "boundary_in",
+                        Json::Int(self.profiler.boundary_enters as i64),
+                    ),
+                    (
+                        "boundary_out",
+                        Json::Int(self.profiler.boundary_exits as i64),
+                    ),
+                    ("import_in", Json::Int(self.profiler.import_enters as i64)),
+                    ("import_out", Json::Int(self.profiler.import_exits as i64)),
+                ]),
+            ),
+        ])
+    }
 }
 
 /// The result of a traced run: everything in a [`RunReport`] plus the

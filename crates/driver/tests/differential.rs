@@ -102,6 +102,7 @@ fn assert_differential_clean(p: &GenProgram) {
             ty,
             outcome,
             counts,
+            profile: _,
         }) => (ty.clone(), outcome.clone(), *counts),
         other => panic!("{}: batch failed: {other:?}\n{}", p.describe, p.expr),
     };
@@ -122,6 +123,7 @@ fn assert_differential_clean(p: &GenProgram) {
             ty: bty,
             outcome: boutcome,
             counts: bcounts,
+            profile: _,
         }) => {
             assert_eq!(bty, &ty, "{}: bytecode batch type", p.describe);
             assert_eq!(boutcome, &outcome, "{}: bytecode batch outcome", p.describe);

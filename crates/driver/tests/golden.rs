@@ -72,6 +72,28 @@ const CASES: &[Case] = &[
     // trace: the Fig 12-style diagrams.
     case("trace_double_twice", &["trace", "examples/double_twice.ft"]),
     case("trace_fact_t", &["trace", "examples/fact_t.ft"]),
+    // profile: the span-attributed fuel tables, all three formats,
+    // over .ft (parser spans) and .mf (definition spans) sources.
+    case("profile_fact_t", &["profile", "examples/fact_t.ft"]),
+    case(
+        "profile_fact_t_folded",
+        &["profile", "examples/fact_t.ft", "--format", "folded"],
+    ),
+    case(
+        "profile_double_twice_json",
+        &["profile", "examples/double_twice.ft", "--format", "json"],
+    ),
+    case(
+        "profile_fact_mf",
+        &[
+            "profile",
+            "examples/fact.mf",
+            "--tco",
+            "--call",
+            "fact",
+            "5",
+        ],
+    ),
     // compile: plain, TCO, and applied.
     case("compile_fact", &["compile", "examples/fact.mf"]),
     case(
@@ -129,6 +151,13 @@ const CASES: &[Case] = &[
     case(
         "batch_jobs_bytecode",
         &["batch", "crates/driver/tests/golden/jobs_bytecode.jsonl"],
+    ),
+    // batch resilience: malformed lines mid-stream become per-line
+    // error results; the jobs after them still run (and the batch
+    // exits non-zero because some jobs failed).
+    case(
+        "batch_jobs_poison",
+        &["batch", "crates/driver/tests/golden/jobs_poison.jsonl"],
     ),
     case(
         "batch_files",
@@ -222,6 +251,34 @@ fn cli_output_matches_golden_snapshots() {
         failures.len(),
         failures.join("\n\n")
     );
+}
+
+/// The profile a user sees must not depend on the tier that produced
+/// it: `funtal profile --tier X` prints byte-identical output for all
+/// three. (The library-level certification lives in the core crate's
+/// strategy_equiv suite; this pins the full CLI path, spans included.)
+#[test]
+fn profile_output_is_tier_independent() {
+    for (file, format) in [
+        ("examples/fact_t.ft", "table"),
+        ("examples/fact_t.ft", "folded"),
+        ("examples/double_twice.ft", "json"),
+    ] {
+        let outputs: Vec<_> = ["substitution", "environment", "bytecode"]
+            .iter()
+            .map(|tier| {
+                let out = Command::new(env!("CARGO_BIN_EXE_funtal"))
+                    .args(["profile", file, "--tier", tier, "--format", format])
+                    .current_dir(repo_root())
+                    .output()
+                    .expect("running funtal");
+                assert!(out.status.success(), "{file} {format} --tier {tier}");
+                String::from_utf8(out.stdout).expect("utf-8 stdout")
+            })
+            .collect();
+        assert_eq!(outputs[0], outputs[1], "{file} {format}: environment tier");
+        assert_eq!(outputs[0], outputs[2], "{file} {format}: bytecode tier");
+    }
 }
 
 /// Snapshot names must be unique — a duplicate silently overwrites a

@@ -138,8 +138,16 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
                 col = 1;
             }
             '/' if bytes.get(i + 1) == Some(&b'/') => {
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    i += 1;
+                // Comments are the one place non-ASCII text is legal;
+                // advance the column per character, not per byte, so
+                // every position reported after the comment (including
+                // end-of-input) matches what an editor shows.
+                for ch in src[i..].chars() {
+                    if ch == '\n' {
+                        break;
+                    }
+                    i += ch.len_utf8();
+                    col += 1;
                 }
             }
             '(' => push!(TokKind::LParen, 1),
@@ -200,12 +208,16 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
                 });
                 col += (i - start) as u32;
             }
-            other => {
+            _ => {
+                // `c` is only the first byte; decode the real char so
+                // a multi-byte UTF-8 character is reported verbatim
+                // instead of as its garbled leading byte.
+                let ch = src[i..].chars().next().expect("in-bounds char");
                 return Err(LexError {
-                    msg: format!("unexpected character `{other}`"),
+                    msg: format!("unexpected character `{ch}`"),
                     line,
                     col,
-                })
+                });
             }
         }
     }
@@ -274,5 +286,25 @@ mod tests {
     fn rejects_illegal_chars() {
         assert!(lex("a $ b").is_err());
         assert!(lex("a # b").is_err());
+    }
+
+    #[test]
+    fn non_ascii_comments_keep_positions_char_accurate() {
+        // Multi-byte characters in a comment must not shift any
+        // later position. The token after the comment line:
+        let toks = lex("// naïve façade\nabc").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (2, 1));
+        // End-of-input after a trailing non-ASCII comment counts
+        // characters, not bytes: `// café` is 7 chars from col 4.
+        let toks = lex("ab // café").unwrap();
+        let eof = toks.last().unwrap();
+        assert_eq!((eof.line, eof.col), (1, 11));
+    }
+
+    #[test]
+    fn illegal_non_ascii_char_is_reported_verbatim() {
+        let err = lex("a é b").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 3));
+        assert!(err.msg.contains('é'), "got: {}", err.msg);
     }
 }

@@ -6,6 +6,7 @@
 
 use std::fmt;
 
+use funtal_syntax::span::{Span, SpanTable};
 use funtal_syntax::{
     ArithOp, CodeBlock, CodeTy, FExpr, FTy, HeapFrag, HeapVal, Inst, Instr, InstrSeq, Kind, Label,
     Lam, Mutability, Reg, RegFileTy, RetMarker, SmallVal, StackTail, StackTy, TComp, TTy,
@@ -56,6 +57,10 @@ const KEYWORDS: &[&str] = &[
 struct Parser {
     toks: Vec<Tok>,
     pos: usize,
+    /// Label → source-span side table, filled while parsing heap
+    /// fragments (see `funtal_syntax::span` for why spans live beside
+    /// the AST instead of in it).
+    spans: SpanTable,
 }
 
 impl Parser {
@@ -63,6 +68,7 @@ impl Parser {
         Ok(Parser {
             toks: lex(src)?,
             pos: 0,
+            spans: SpanTable::new(),
         })
     }
 
@@ -758,9 +764,13 @@ impl Parser {
             self.eat(&TokKind::LBrace)?;
             let mut pairs = Vec::new();
             loop {
+                let (line, col) = self.here();
                 let l = self.ident("a label")?;
                 self.eat(&TokKind::Arrow)?;
                 let hv = self.heap_val()?;
+                let (end_line, end_col) = self.here();
+                self.spans
+                    .record(l.as_str(), Span::new(line, col, end_line, end_col));
                 pairs.push((Label::new(l), hv));
                 if self.peek() == &TokKind::Semi {
                     self.bump();
@@ -950,6 +960,23 @@ impl Parser {
             self.err(format!("unexpected trailing input: {}", self.peek()))
         }
     }
+
+    /// The whole program's span: first token through end of input.
+    fn root_span(&self) -> Span {
+        let first = self.toks.first().expect("lexer always emits Eof");
+        let last = self.toks.last().expect("lexer always emits Eof");
+        if first.kind == TokKind::Eof {
+            Span::SYNTH
+        } else {
+            Span::new(first.line, first.col, last.line, last.col)
+        }
+    }
+
+    /// Consumes the parser, returning the filled span table.
+    fn into_spans(mut self) -> SpanTable {
+        self.spans.root = self.root_span();
+        self.spans
+    }
 }
 
 fn small_to_word(u: SmallVal) -> Option<WordVal> {
@@ -976,11 +1003,32 @@ pub fn parse_fexpr(src: &str) -> PResult<FExpr> {
     p.finish(e)
 }
 
+/// Parses an F expression plus its source-span table: the whole
+/// program's span and one span per heap label (across every nested
+/// boundary). The table is the profiler's map from machine labels back
+/// to source regions; it survives interning and `Arc` sharing because
+/// it lives beside the term, keyed by label.
+pub fn parse_fexpr_spanned(src: &str) -> PResult<(FExpr, SpanTable)> {
+    let mut p = Parser::new(src)?;
+    let e = p.fexpr()?;
+    let e = p.finish(e)?;
+    Ok((e, p.into_spans()))
+}
+
 /// Parses a T component `(I)` or `(I, {l -> h; …})`.
 pub fn parse_tcomp(src: &str) -> PResult<TComp> {
     let mut p = Parser::new(src)?;
     let c = p.tcomp()?;
     p.finish(c)
+}
+
+/// Parses a T component plus its source-span table (see
+/// [`parse_fexpr_spanned`]).
+pub fn parse_tcomp_spanned(src: &str) -> PResult<(TComp, SpanTable)> {
+    let mut p = Parser::new(src)?;
+    let c = p.tcomp()?;
+    let c = p.finish(c)?;
+    Ok((c, p.into_spans()))
 }
 
 /// Parses a T value type.
@@ -1016,4 +1064,42 @@ pub fn parse_heap_val(src: &str) -> PResult<HeapVal> {
     let mut p = Parser::new(src)?;
     let h = p.heap_val()?;
     p.finish(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for the byte-based-column bug: a non-ASCII comment
+    /// before an error must not shift the reported position.
+    #[test]
+    fn non_ascii_comment_does_not_shift_error_positions() {
+        let ascii = parse_fexpr("// plain comment\n1 +").unwrap_err();
+        let accented = parse_fexpr("// commentaire accentué — ✓\n1 +").unwrap_err();
+        assert_eq!((ascii.line, ascii.col), (2, 4));
+        assert_eq!(
+            (accented.line, accented.col),
+            (ascii.line, ascii.col),
+            "non-ASCII comment shifted the error position"
+        );
+    }
+
+    #[test]
+    fn spanned_parse_records_root_and_labels() {
+        let src = "FT[int](mv r1, 42; halt int, * {r1},\n  {tup -> box <1, 2>})";
+        let (_, spans) = parse_fexpr_spanned(src).unwrap();
+        assert_eq!(spans.root, Span::new(1, 1, 2, 23));
+        assert_eq!(spans.resolve("tup"), Span::new(2, 4, 2, 21));
+        // A machine-renamed copy resolves to the same region.
+        assert_eq!(spans.resolve("tup$3"), Span::new(2, 4, 2, 21));
+        assert!(spans.resolve("nowhere").is_synth());
+    }
+
+    #[test]
+    fn spanned_parse_sees_nested_boundary_labels() {
+        let src = "1 + FT[int](jmp go, {go -> code[]{; *} end{int; *}. halt int, * {r1}})";
+        let (_, spans) = parse_fexpr_spanned(src).unwrap();
+        assert!(!spans.resolve("go").is_synth());
+        assert_eq!(spans.resolve("go").line, 1);
+    }
 }

@@ -44,11 +44,13 @@ pub mod hash;
 pub mod ids;
 pub mod intern;
 pub mod rename;
+pub mod span;
 pub mod subst;
 pub mod term;
 pub mod ty;
 
 pub use ids::{Label, Reg, TyVar, VarName};
+pub use span::{Span, SpanTable};
 pub use term::{
     ArithOp, CodeBlock, Component, FExpr, HeapFrag, HeapVal, Instr, InstrSeq, Lam, SmallVal, TComp,
     Terminator, WordVal,

@@ -46,6 +46,7 @@ pub mod check;
 pub mod error;
 pub mod figures;
 pub mod machine;
+pub mod profile;
 pub mod trace;
 pub mod value_ty;
 pub mod wf;
@@ -53,5 +54,6 @@ pub mod wf;
 pub use check::{check_component, check_program, check_seq, ret_addr_type, ret_type, TCtx};
 pub use error::{RResult, RuntimeError, TResult, TypeError};
 pub use machine::{run_component, run_program, Memory, Outcome, Stack};
+pub use profile::{AttributedEvent, ProfileEntry, Profiler, RootLang};
 pub use trace::{CountTracer, Event, NullTracer, Tracer, VecTracer};
 pub use wf::Delta;

@@ -473,8 +473,9 @@ pub fn exec_instr(mem: &mut Memory, instr: &Instr) -> RResult<()> {
 
 /// Performs one step of the pure-T machine on `seq`.
 ///
-/// `import` raises [`RuntimeError::MultiLanguage`]; `protect` is a
-/// runtime no-op (it only affects typing) and is skipped.
+/// `import` raises [`RuntimeError::MultiLanguage`]; `protect` has no
+/// memory effect (it only affects typing) but still counts — and is
+/// traced — as one instruction step.
 pub fn step_seq(mem: &mut Memory, seq: InstrSeq, tracer: &mut dyn Tracer) -> RResult<TStep> {
     step_seq_opts(mem, seq, tracer, MachineOpts::default())
 }
@@ -513,7 +514,10 @@ pub fn step_seq_opts(
                 return Ok(TStep::Next(seq));
             }
             Instr::Protect { .. } => {
-                // Typing-only; no memory effect.
+                // Typing-only; no memory effect, but still one machine
+                // step — emit `Instr` so every fuel tick has exactly
+                // one charging event (the profiler's invariant).
+                tracer.event(&Event::Instr);
                 return Ok(TStep::Next(seq));
             }
             other => {
