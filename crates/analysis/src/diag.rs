@@ -1,0 +1,139 @@
+//! Span-attributed diagnostics with a deterministic normal form.
+//!
+//! Every analysis pass emits [`Diagnostic`]s in whatever order its
+//! traversal produces; [`normalize`] sorts by `(file, span, rule,
+//! message)` and drops exact duplicates, so the table and JSON
+//! renderings downstream are byte-stable no matter how many workers
+//! produced the findings or in which order rules ran.
+
+use std::fmt;
+
+use funtal_syntax::span::Span;
+
+/// How serious a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational (never fails a `--deny warnings` gate).
+    Note,
+    /// A likely mistake; fails `--deny warnings`.
+    Warning,
+    /// A definite defect (a verifier rejection); always fails.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding: a rule identifier, where, and what.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Diagnostic {
+    /// The file (or pseudo-file) the finding is about.
+    pub file: String,
+    /// The source region; [`Span::SYNTH`] for findings about
+    /// generated code or whole-program properties.
+    pub span: Span,
+    /// Stable kebab-case rule identifier (e.g. `dead-register-write`).
+    pub rule: String,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(
+        file: impl Into<String>,
+        span: Span,
+        rule: impl Into<String>,
+        severity: Severity,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            file: file.into(),
+            span,
+            rule: rule.into(),
+            severity,
+            message: message.into(),
+        }
+    }
+}
+
+/// Sorts findings by `(file, span, rule, severity, message)` and drops
+/// exact duplicates — the canonical order every renderer relies on.
+pub fn normalize(diags: &mut Vec<Diagnostic>) {
+    diags.sort_by(|a, b| {
+        (&a.file, a.span, &a.rule, a.severity, &a.message)
+            .cmp(&(&b.file, b.span, &b.rule, b.severity, &b.message))
+    });
+    diags.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(file: &str, line: u32, rule: &str, msg: &str) -> Diagnostic {
+        Diagnostic::new(file, Span::at(line, 1), rule, Severity::Warning, msg)
+    }
+
+    #[test]
+    fn sorts_by_file_then_span_then_rule() {
+        let mut v = vec![
+            d("b.ft", 1, "zz", "later file"),
+            d("a.ft", 9, "aa", "later line"),
+            d("a.ft", 2, "bb", "same line, later rule"),
+            d("a.ft", 2, "aa", "first"),
+        ];
+        normalize(&mut v);
+        let order: Vec<&str> = v.iter().map(|d| d.message.as_str()).collect();
+        assert_eq!(
+            order,
+            vec!["first", "same line, later rule", "later line", "later file"]
+        );
+    }
+
+    #[test]
+    fn dedups_identical_findings() {
+        let mut v = vec![
+            d("a.ft", 1, "r", "dup"),
+            d("a.ft", 1, "r", "dup"),
+            d("a.ft", 1, "r", "kept"),
+        ];
+        normalize(&mut v);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn normal_form_is_order_independent() {
+        let items = vec![
+            d("a.ft", 3, "x", "one"),
+            d("a.ft", 1, "y", "two"),
+            d("z.ft", 1, "a", "three"),
+            d("a.ft", 1, "y", "two"),
+        ];
+        let mut fwd = items.clone();
+        let mut rev: Vec<_> = items.into_iter().rev().collect();
+        normalize(&mut fwd);
+        normalize(&mut rev);
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn synth_spans_sort_first() {
+        let mut v = vec![d("a.ft", 5, "r", "real"), {
+            let mut s = d("a.ft", 1, "r", "synth");
+            s.span = Span::SYNTH;
+            s
+        }];
+        normalize(&mut v);
+        assert_eq!(v[0].message, "synth");
+    }
+}

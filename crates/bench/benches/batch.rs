@@ -12,6 +12,8 @@
 //! gates only the single-threaded rows (`workers/1`, `warm/1`); the
 //! multi-worker rows are recorded for observation.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use funtal_driver::corpus::paper_corpus;
 use funtal_driver::{Batch, Job, Pipeline};

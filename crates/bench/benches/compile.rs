@@ -2,6 +2,8 @@
 //! the quantitative version of the §6 JIT story — plus the
 //! tail-call-optimization ablation.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use funtal::machine::{run_fexpr, RunCfg};
 use funtal_compile::codegen::{compile_program, CodegenOpts};
@@ -309,6 +311,35 @@ fn pingpong_program(k: usize) -> funtal_syntax::FExpr {
     e
 }
 
+/// The static bytecode verifier's cost, measured against the lowering
+/// that produces its input. Verification happens once per lowered
+/// artifact (at `prelower` under debug assertions, on cache load, at
+/// JIT promotion, or under `--verify-bytecode`) — never inside the
+/// dispatch loop — so this one-time cost is the entire overhead the
+/// analysis layer adds to the bytecode tier. The gated
+/// `fib_steady/bytecode` rows above prove the dispatch loop itself is
+/// untouched.
+fn verify_cost(c: &mut Criterion) {
+    let p = fib_program();
+    let compiled = compile_program(
+        &p,
+        CodegenOpts {
+            tail_call_opt: false,
+        },
+    )
+    .wrap("fib");
+    let prog = app(compiled, vec![fint_e(24)]);
+    let lowered = funtal::prelower(&prog);
+    let mut g = c.benchmark_group("verify_cost");
+    g.bench_function(BenchmarkId::new("lower", "fib"), |b| {
+        b.iter(|| funtal::prelower(&prog))
+    });
+    g.bench_function(BenchmarkId::new("verify", "fib"), |b| {
+        b.iter(|| funtal::verify_lowered(&lowered).unwrap())
+    });
+    g.finish();
+}
+
 fn translation_depth(c: &mut Criterion) {
     // E8: value-translation cost for increasingly deep tuples crossing
     // the boundary.
@@ -351,6 +382,7 @@ criterion_group!(
     compile_time,
     interpreted_vs_compiled,
     steady_state,
+    verify_cost,
     translation_depth
 );
 criterion_main!(benches);

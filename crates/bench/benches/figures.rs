@@ -4,6 +4,8 @@
 //! step counts that constitute the paper-shape result (see
 //! EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use funtal::figures::{fig11_jit, fig16_f1, fig16_f2, fig17_fact_f, fig17_fact_t};
 use funtal::machine::{run_fexpr, RunCfg};

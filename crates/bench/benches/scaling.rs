@@ -5,6 +5,8 @@
 //! - `boundary_overhead`: cost of F↔T crossings vs staying in one
 //!   language (the §6 "Choices in Multi-Language Design" trade-off).
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use funtal::machine::{run_fexpr, RunCfg};
 use funtal_syntax::build::*;

@@ -42,6 +42,8 @@
 //! criterion shim (one `{"id": …, "mean_ns": …}` object per line), so
 //! a dependency-free line parser is enough.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 #[derive(Debug)]

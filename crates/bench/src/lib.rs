@@ -7,4 +7,5 @@
 //! capture a machine-readable snapshot (see `BENCH_baseline.json` at
 //! the repo root).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -148,13 +148,26 @@ impl Jit {
             FtOutcome::Halted(w) => return Err(format!("unexpected T halt {w}")),
             FtOutcome::OutOfFuel => return Err("out of fuel".to_string()),
         };
-        let c = self.counters.entry(name.to_string()).or_insert(0);
-        *c += 1;
-        if *c >= self.threshold {
+        let count = {
+            let c = self.counters.entry(name.to_string()).or_insert(0);
+            *c += 1;
+            *c
+        };
+        if count >= self.threshold {
             self.hot.insert(name.to_string());
         }
-        if *c >= 2 * self.threshold {
-            self.blazing.insert(name.to_string());
+        if count >= 2 * self.threshold && !self.blazing.contains(name) {
+            // Promotion to the bytecode tier is gated on the static
+            // verifier: the compiled materialization is lowered once
+            // and checked (register initialization, jump-offset
+            // bounds, fused-cost table). A definition whose lowering
+            // does not verify stays on the compiled cursor — a
+            // codegen or lowering bug degrades to the slower rung
+            // instead of executing unchecked bytecode.
+            let lowered = funtal::prelower(&self.materialize(name));
+            if funtal::verify_lowered(&lowered).is_ok() {
+                self.blazing.insert(name.to_string());
+            }
         }
         Ok(InvokeStats {
             result,

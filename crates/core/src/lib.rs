@@ -39,17 +39,25 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bc_verify;
 pub mod check;
+pub mod cost;
 pub mod figures;
+pub mod lint;
 pub mod machine;
 pub mod machine_bc;
 pub mod machine_fast;
 pub mod mutref;
 pub mod translate;
 
+pub use bc_verify::{verify_lowered, BcVerifyError, ModuleVerifyError};
 pub use check::{type_of_fexpr, typecheck, typecheck_component, FtCtx, Gamma};
+pub use cost::{infer_fuel, FuelBound};
+pub use funtal_analysis::diag::{normalize, Diagnostic, Severity};
+pub use lint::lint_program;
 pub use machine::{eval_to_value, run, run_fexpr, EvalStrategy, ExecTier, FtOutcome, RunCfg};
 pub use machine_bc::{prelower, prelower_spanned, run_prelowered, LoweredProgram};
 pub use machine_fast::SpanScope;

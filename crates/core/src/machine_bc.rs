@@ -236,10 +236,51 @@ pub(crate) enum BcOp {
     },
 }
 
+impl BcOp {
+    /// Fuel charged by [`BcOp::Push`] (`salloc; sst`).
+    pub(crate) const PUSH_COST: u64 = 2;
+    /// Fuel charged by [`BcOp::PushJmp`] (`salloc; sst; jmp`).
+    pub(crate) const PUSH_JMP_COST: u64 = 3;
+    /// Fuel charged by [`BcOp::SldPush`] (`sld; salloc; sst`).
+    pub(crate) const SLD_PUSH_COST: u64 = 3;
+    /// Fuel charged by [`BcOp::PopArith`] (`sld; sfree; arith`).
+    pub(crate) const POP_ARITH_COST: u64 = 3;
+    /// Fuel charged by [`BcOp::PopArithPush`]
+    /// (`sld; sfree; arith; salloc; sst`).
+    pub(crate) const POP_ARITH_PUSH_COST: u64 = 5;
+    /// Fuel charged by [`BcOp::SldSfree`] (`sld; sfree`).
+    pub(crate) const SLD_SFREE_COST: u64 = 2;
+    /// Fuel charged by [`BcOp::PopRet`] (`sld; sfree; ret`).
+    pub(crate) const POP_RET_COST: u64 = 3;
+
+    /// Fuel this opcode charges when dispatched — the shared cost
+    /// table. Plain ops tick once; superinstructions charge exactly
+    /// the fuel of the constituent steps they fuse (the dispatch loop
+    /// reads the same constants, and `bc_verify` cross-checks each
+    /// fused cost against an independently enumerated expansion).
+    /// `Import` charges nothing at the suspension itself — the two
+    /// ticks of the import round-trip (translate, then `mv rd`) are
+    /// charged by the CEK machine when the F value returns. `Halt`
+    /// charges nothing at dispatch; `halt()` ticks once.
+    pub(crate) const fn fuel_cost(&self) -> u64 {
+        match self {
+            BcOp::Import { .. } | BcOp::Halt { .. } => 0,
+            BcOp::Push { .. } => Self::PUSH_COST,
+            BcOp::PushJmp { .. } => Self::PUSH_JMP_COST,
+            BcOp::SldPush { .. } => Self::SLD_PUSH_COST,
+            BcOp::PopArith { .. } => Self::POP_ARITH_COST,
+            BcOp::PopArithPush { .. } => Self::POP_ARITH_PUSH_COST,
+            BcOp::SldSfree { .. } => Self::SLD_SFREE_COST,
+            BcOp::PopRet { .. } => Self::POP_RET_COST,
+            _ => 1,
+        }
+    }
+}
+
 /// Sentinel arity for fragment ordinals that are not code blocks
 /// (tuples): never a valid instantiation count, so no static target or
 /// cell binding is ever created for them.
-const NOT_CODE: usize = usize::MAX;
+pub(crate) const NOT_CODE: usize = usize::MAX;
 
 /// A lowered module: the component's entry sequence at offset 0
 /// followed by every fragment block, as one flat op stream. Shared and
@@ -558,14 +599,14 @@ fn frag_cells(heap: &HeapFrag) -> Vec<FragCell> {
         .collect()
 }
 
-fn lower_comp(comp: &TComp) -> BcModule {
+pub(crate) fn lower_comp(comp: &TComp) -> BcModule {
     lower_module(&comp.seq, &frag_cells(&comp.heap))
 }
 
 /// Lowers a renamed merge: the module is instance-specific (its labels
 /// embed the collision-renamed names), built from the already-renamed
 /// cells the merge left in the flat heap.
-fn lower_renamed(mem: &FastMem, entry: &InstrSeq, indices: &[u32]) -> BcModule {
+pub(crate) fn lower_renamed(mem: &FastMem, entry: &InstrSeq, indices: &[u32]) -> BcModule {
     let frag: Vec<FragCell> = indices
         .iter()
         .map(|&i| {
@@ -592,7 +633,7 @@ thread_local! {
     static BC_BLOCK_CACHE: RefCell<BlockModCache> = RefCell::new(HashMap::new());
 }
 
-fn single_block_module(hv: &Arc<HeapVal>) -> Arc<BcModule> {
+pub(crate) fn single_block_module(hv: &Arc<HeapVal>) -> Arc<BcModule> {
     let key = Arc::as_ptr(hv) as usize;
     BC_BLOCK_CACHE.with(|cache| {
         let mut cache = cache.borrow_mut();
@@ -1072,8 +1113,8 @@ impl Machine<'_, BcTier> {
                     //    exhaustion and event streams land on exactly
                     //    the same machine state as the unfused sequence.
                     BcOp::Push { rs } => {
-                        if !TRACED && fuel >= 2 {
-                            fuel -= 2;
+                        if !TRACED && fuel >= BcOp::PUSH_COST {
+                            fuel -= BcOp::PUSH_COST;
                             let w = self.mem.reg(*rs)?.clone();
                             self.mem.stack.push(w);
                         } else {
@@ -1095,8 +1136,8 @@ impl Machine<'_, BcTier> {
                         if let (false, false, BcTarget::Static { off, .. }) =
                             (TRACED, self.guard, t)
                         {
-                            if fuel >= 3 {
-                                fuel -= 3;
+                            if fuel >= BcOp::PUSH_JMP_COST {
+                                fuel -= BcOp::PUSH_JMP_COST;
                                 let w = self.mem.reg(*rs)?.clone();
                                 self.mem.stack.push(w);
                                 pc = *off;
@@ -1128,8 +1169,8 @@ impl Machine<'_, BcTier> {
                         }
                     }
                     BcOp::SldPush { rd, idx } => {
-                        if !TRACED && fuel >= 3 {
-                            fuel -= 3;
+                        if !TRACED && fuel >= BcOp::SLD_PUSH_COST {
+                            fuel -= BcOp::SLD_PUSH_COST;
                             let w = self.mem.stack_get(*idx)?.clone();
                             self.mem.set_reg(*rd, w.clone());
                             self.mem.stack.push(w);
@@ -1154,8 +1195,8 @@ impl Machine<'_, BcTier> {
                         pc += 1;
                     }
                     BcOp::PopArith { op, pr, rd, rs, rt } => {
-                        if !TRACED && fuel >= 3 {
-                            fuel -= 3;
+                        if !TRACED && fuel >= BcOp::POP_ARITH_COST {
+                            fuel -= BcOp::POP_ARITH_COST;
                             if self.mem.stack.is_empty() {
                                 self.mem.stack_get(0)?;
                             }
@@ -1187,8 +1228,8 @@ impl Machine<'_, BcTier> {
                         pc += 1;
                     }
                     BcOp::PopArithPush { op, pr, rd, rs, rt } => {
-                        if !TRACED && fuel >= 5 {
-                            fuel -= 5;
+                        if !TRACED && fuel >= BcOp::POP_ARITH_PUSH_COST {
+                            fuel -= BcOp::POP_ARITH_PUSH_COST;
                             if self.mem.stack.is_empty() {
                                 self.mem.stack_get(0)?;
                             }
@@ -1233,8 +1274,8 @@ impl Machine<'_, BcTier> {
                         pc += 1;
                     }
                     BcOp::SldSfree { rd, idx, n } => {
-                        if !TRACED && fuel >= 2 {
-                            fuel -= 2;
+                        if !TRACED && fuel >= BcOp::SLD_SFREE_COST {
+                            fuel -= BcOp::SLD_SFREE_COST;
                             let w = self.mem.stack_get(*idx)?.clone();
                             self.mem.set_reg(*rd, w);
                             self.mem.stack_drop_n(*n)?;
@@ -1254,8 +1295,8 @@ impl Machine<'_, BcTier> {
                         pc += 1;
                     }
                     BcOp::PopRet { ra, n, val } => {
-                        let (next, off, _idx) = if !TRACED && fuel >= 3 {
-                            fuel -= 3;
+                        let (next, off, _idx) = if !TRACED && fuel >= BcOp::POP_RET_COST {
+                            fuel -= BcOp::POP_RET_COST;
                             let len = self.mem.stack.len();
                             if len == 0 {
                                 self.mem.stack_get(0)?;
@@ -1494,8 +1535,8 @@ pub fn run_bc(
 /// the driver caches these so warm batch runs skip re-lowering.
 #[derive(Debug)]
 pub struct LoweredProgram {
-    iexpr: IExpr,
-    modules: Vec<(Arc<TComp>, Arc<BcModule>)>,
+    pub(crate) iexpr: IExpr,
+    pub(crate) modules: Vec<(Arc<TComp>, Arc<BcModule>)>,
 }
 
 impl LoweredProgram {
@@ -1583,7 +1624,15 @@ pub fn prelower(e: &FExpr) -> LoweredProgram {
     let mut seen = HashSet::new();
     let mut modules = Vec::new();
     collect_modules(&iexpr, &mut seen, &mut modules);
-    LoweredProgram { iexpr, modules }
+    let lp = LoweredProgram { iexpr, modules };
+    // Debug builds verify every module the lowerer emits; release
+    // builds stay verification-free here so lowering cost is
+    // unchanged (callers opt in via `bc_verify::verify_lowered`).
+    #[cfg(debug_assertions)]
+    if let Err(e) = crate::bc_verify::verify_lowered(&lp) {
+        panic!("prelower produced a module the verifier rejects: {e}");
+    }
+    lp
 }
 
 /// [`prelower`] under a span scope: every lowered block records the

@@ -822,8 +822,8 @@ pub enum FastVal {
 /// free variables are looked up in.
 #[derive(Debug)]
 pub struct Closure {
-    lam: IExpr,
-    env: Env,
+    pub(crate) lam: IExpr,
+    pub(crate) env: Env,
 }
 
 #[derive(Debug)]
@@ -838,11 +838,11 @@ struct EnvFrame {
 pub(crate) struct Env(Option<Rc<EnvFrame>>);
 
 impl Env {
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.0.is_none()
     }
 
-    fn lookup(&self, x: &VarName) -> Option<&FastVal> {
+    pub(crate) fn lookup(&self, x: &VarName) -> Option<&FastVal> {
         let frame = self.0.as_ref()?;
         // Later parameters shadow earlier ones (matching the
         // last-wins map the substitution machine builds).
@@ -852,7 +852,7 @@ impl Env {
         frame.parent.lookup(x)
     }
 
-    fn extend(&self, params: Arc<[(VarName, FTy)]>, vals: Vec<FastVal>) -> Env {
+    pub(crate) fn extend(&self, params: Arc<[(VarName, FTy)]>, vals: Vec<FastVal>) -> Env {
         Env(Some(Rc::new(EnvFrame {
             params,
             vals,
@@ -971,7 +971,7 @@ type LamParts<'a> = (
     &'a IExpr,
 );
 
-fn lam_parts(lam: &IExpr) -> LamParts<'_> {
+pub(crate) fn lam_parts(lam: &IExpr) -> LamParts<'_> {
     let IKind::Lam {
         params,
         zeta,
@@ -1025,7 +1025,7 @@ fn reify_closure(c: &Closure) -> FExpr {
 /// `ᵗℱ𝒯(v, M)` over the fast memory, mirroring
 /// [`crate::translate::f_to_t`] (including allocation order, so labels
 /// coincide between strategies).
-fn f_to_t_fast(mem: &mut FastMem, v: &FastVal, ty: &FTy) -> RResult<TWord> {
+pub(crate) fn f_to_t_fast(mem: &mut FastMem, v: &FastVal, ty: &FTy) -> RResult<TWord> {
     match (v, ty) {
         (FastVal::Int(n), FTy::Int) => Ok(TWord::Int(*n)),
         (FastVal::Unit, FTy::Unit) => Ok(TWord::Unit),
@@ -1094,7 +1094,7 @@ fn f_to_t_fast(mem: &mut FastMem, v: &FastVal, ty: &FTy) -> RResult<TWord> {
 
 /// `τℱ𝒯(w, M)` over the fast memory, mirroring
 /// [`crate::translate::t_to_f`].
-fn t_to_f_fast(mem: &mut FastMem, w: &TWord, ty: &FTy) -> RResult<FastVal> {
+pub(crate) fn t_to_f_fast(mem: &mut FastMem, w: &TWord, ty: &FTy) -> RResult<FastVal> {
     match (w, ty) {
         (TWord::Int(n), FTy::Int) => Ok(FastVal::Int(*n)),
         (TWord::Unit, FTy::Unit) => Ok(FastVal::Unit),

@@ -512,6 +512,13 @@ pub fn render_summary(
             ("misses", Json::Int(s.misses as i64)),
         ])
     };
+    // The lower stage is the one stage with verify-on-load, so it is
+    // the one stage whose summary carries a reject counter.
+    let lower = obj([
+        ("hits", Json::Int(cache.lower.hits as i64)),
+        ("misses", Json::Int(cache.lower.misses as i64)),
+        ("rejects", Json::Int(cache.lower.rejects as i64)),
+    ]);
     obj([
         ("summary", Json::Bool(true)),
         ("jobs", Json::Int(jobs as i64)),
@@ -523,7 +530,7 @@ pub fn render_summary(
             obj([
                 ("parse", stage(cache.parse)),
                 ("check", stage(cache.check)),
-                ("lower", stage(cache.lower)),
+                ("lower", lower),
                 ("compile", stage(cache.compile)),
             ]),
         ),

@@ -27,6 +27,7 @@
 //! # Ok::<(), funtal_driver::FunTalError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
@@ -56,6 +57,32 @@ pub use batch::{Batch, BatchReport, Job, JobKind, JobOutcome, JobSuccess};
 pub use cache::{ArtifactCache, CacheStats};
 pub use error::FunTalError;
 pub use report::{Checked, CompiledMiniF, ProfileReport, RunReport, TraceReport};
+
+/// Builds the span table attributing compiled MiniF block labels to
+/// their source definitions: every generated block is named `<def>` or
+/// `<def>_<hint><n>`, so blocks attribute to the longest
+/// definition-name prefix. Shared by the profiler and the linter; the
+/// boundary wrapper is generated code and keeps a synthetic root span.
+fn minif_span_table(
+    compiled: &CompiledMiniF,
+    def_spans: &[(String, funtal_syntax::span::Span)],
+) -> SpanTable {
+    let mut table = SpanTable::new();
+    for (label, _) in &compiled.compiled.heap {
+        let l = label.as_str();
+        let best = def_spans
+            .iter()
+            .filter(|(n, _)| {
+                l == n.as_str()
+                    || (l.starts_with(n.as_str()) && l.as_bytes().get(n.len()) == Some(&b'_'))
+            })
+            .max_by_key(|(n, _)| n.len());
+        if let Some((_, span)) = best {
+            table.record(l, *span);
+        }
+    }
+    table
+}
 
 /// Parses an execution-tier (= evaluation-strategy) name as the CLI
 /// flags and the batch job protocol spell them.
@@ -392,21 +419,68 @@ impl Pipeline {
             .ok_or_else(|| FunTalError::driver(format!("no definition named `{name}`")))?;
         let call = app(f.clone(), args.iter().map(|n| fint_e(*n)).collect());
         let ty = self.check(&call)?;
-        let mut table = SpanTable::new();
-        for (label, _) in &compiled.compiled.heap {
-            let l = label.as_str();
-            let best = def_spans
-                .iter()
-                .filter(|(n, _)| {
-                    l == n.as_str()
-                        || (l.starts_with(n.as_str()) && l.as_bytes().get(n.len()) == Some(&b'_'))
-                })
-                .max_by_key(|(n, _)| n.len());
-            if let Some((_, span)) = best {
-                table.record(l, *span);
+        let table = minif_span_table(compiled, def_spans);
+        self.profile_prechecked(&call, ty, Arc::new(table))
+    }
+
+    // --- stage 5½: static analysis ----------------------------------------
+
+    /// Lints an FT source — what `funtal lint` runs on `.ft` files:
+    /// parse (with spans), typecheck, lower to bytecode under the span
+    /// table, then run every analysis rule over both the source term
+    /// and the lowered IR. Diagnostics come back in the deterministic
+    /// normal form (sorted by file/span/rule, deduplicated).
+    pub fn lint_source(
+        &self,
+        file: &str,
+        src: &str,
+    ) -> Result<Vec<funtal::Diagnostic>, FunTalError> {
+        let (e, spans) = self.parse_spanned(src)?;
+        self.check(&e)?;
+        let lowered = funtal::prelower_spanned(&e, Arc::new(spans));
+        Ok(funtal::lint_program(file, &e, &lowered))
+    }
+
+    /// Lints a MiniF source — what `funtal lint` runs on `.mf` files:
+    /// compile the program, then lower and lint every boundary-wrapped
+    /// definition under the definition span table (generated blocks
+    /// attribute to the `fn` that produced them, exactly as in
+    /// [`profile_compiled`](Pipeline::profile_compiled)). Findings
+    /// from all definitions are merged into one normal form.
+    pub fn lint_minif_source(
+        &self,
+        file: &str,
+        src: &str,
+    ) -> Result<Vec<funtal::Diagnostic>, FunTalError> {
+        let (program, def_spans) = minif::parse_minif_spanned(src)?;
+        let bundle = self.compile_minif(&program)?;
+        let table = Arc::new(minif_span_table(&bundle, &def_spans));
+        let mut diags = Vec::new();
+        // Every wrapped definition embeds the *whole* compiled heap,
+        // so from any one entry point the other definitions' blocks
+        // look unreachable. An entry-dependent finding therefore only
+        // stands when every entry point agrees on it.
+        let defs = bundle.wrapped.len();
+        let mut entry_dependent: std::collections::HashMap<funtal::Diagnostic, usize> =
+            std::collections::HashMap::new();
+        for (_, f, _) in &bundle.wrapped {
+            let lowered = funtal::prelower_spanned(f, table.clone());
+            for d in funtal::lint_program(file, f, &lowered) {
+                if d.rule == "unreachable-block" {
+                    *entry_dependent.entry(d).or_insert(0) += 1;
+                } else {
+                    diags.push(d);
+                }
             }
         }
-        self.profile_prechecked(&call, ty, Arc::new(table))
+        diags.extend(
+            entry_dependent
+                .into_iter()
+                .filter(|(_, votes)| *votes == defs)
+                .map(|(d, _)| d),
+        );
+        funtal::normalize(&mut diags);
+        Ok(diags)
     }
 
     /// Like [`run`](Pipeline::run), with a caller-supplied tracer

@@ -10,6 +10,8 @@
 //! funtal equiv   A.ft B.ft             bounded logical-relation comparison
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use funtal::machine::EvalStrategy;
@@ -33,6 +35,13 @@ COMMANDS:
                             profile is identical on every --tier)
     compile  FILE.mf        compile a MiniF program to T assembly and print
                             the boundary-wrapped result
+    lint     FILE...        run the static analyses over .ft/.mf sources:
+                            deterministic span-attributed diagnostics
+                            (dead register writes, unreachable blocks,
+                            unused heap fragments, shadowed binders,
+                            constant boundary imports) plus certified
+                            static fuel bounds as notes; exits non-zero
+                            on errors (and on warnings under --deny)
     equiv    A.ft B.ft      compare two programs with the bounded logical
                             relation (Section 5)
     batch    JOBS...        run many jobs on a worker pool with shared
@@ -54,8 +63,15 @@ OPTIONS:
     --guard         enable the dynamic type-safety guard at T jumps
     --steps         print step counts after `run`
     --trace         with `run`: also print the control-flow diagram
+    --verify-bytecode
+                    with `run`: verify the lowered bytecode (register
+                    initialization, jump-offset bounds, the fused-cost
+                    table) before executing anything
+    --deny warnings with `lint`: exit non-zero when any warning-level
+                    finding survives (the CI gate)
     --format F      with `profile`: `table` (default), `folded`
-                    (flamegraph-collapsed stack lines), or `json`
+                    (flamegraph-collapsed stack lines), or `json`;
+                    with `lint`: `table` (default) or `json`
     --tco           with `compile`: loopify self tail calls
     --call NAME N.. with `compile`: apply definition NAME to integer
                     arguments and print the value
@@ -85,6 +101,8 @@ struct Opts {
     depth: u32,
     workers: usize,
     repeat: usize,
+    verify_bytecode: bool,
+    deny_warnings: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, FunTalError> {
@@ -104,6 +122,8 @@ fn parse_args(args: &[String]) -> Result<Opts, FunTalError> {
         depth: defaults.depth,
         workers: 1,
         repeat: 1,
+        verify_bytecode: false,
+        deny_warnings: false,
     };
     let mut i = 0;
     let take = |args: &[String], i: &mut usize, flag: &str| -> Result<String, FunTalError> {
@@ -138,6 +158,16 @@ fn parse_args(args: &[String]) -> Result<Opts, FunTalError> {
             "--steps" => o.steps = true,
             "--trace" => o.trace = true,
             "--tco" => o.tco = true,
+            "--verify-bytecode" => o.verify_bytecode = true,
+            "--deny" => {
+                let what = take(args, &mut i, "--deny")?;
+                if what != "warnings" {
+                    return Err(FunTalError::driver(format!(
+                        "--deny: `{what}` is not a deniable class (use `warnings`)"
+                    )));
+                }
+                o.deny_warnings = true;
+            }
             "--samples" => {
                 o.samples = parse_num::<usize>(&take(args, &mut i, "--samples")?, "--samples")?
             }
@@ -233,6 +263,17 @@ fn cmd_run(o: &Opts) -> Result<(), FunTalError> {
     let file = one_file(o, "run")?;
     let p = pipeline(o);
     let src = read_file(file)?;
+    if o.verify_bytecode {
+        // Lower and verify before anything executes — the same check
+        // that guards `prelower` under debug assertions and cache
+        // loads, on demand in release builds.
+        let e = p.parse(&src)?;
+        p.check(&e)?;
+        let lowered = funtal::prelower(&e);
+        funtal::verify_lowered(&lowered)
+            .map_err(|err| FunTalError::driver(format!("--verify-bytecode: {err}")))?;
+        println!("verify: {} bytecode module(s) OK", lowered.module_count());
+    }
     let report = if o.trace {
         let traced = p.trace_source(&src)?;
         println!("type:   {}", traced.ty);
@@ -319,6 +360,92 @@ fn cmd_compile(o: &Opts) -> Result<(), FunTalError> {
             .collect::<Vec<_>>()
             .join(", ");
         println!("// {name}({rendered}) = {}", report.value()?);
+    }
+    Ok(())
+}
+
+/// Renders one diagnostic line: `file:line:col: severity[rule]: msg`,
+/// with the position omitted for synthetic spans (whole-program
+/// findings and generated code).
+fn render_diag(d: &funtal::Diagnostic) -> String {
+    if d.span == funtal_syntax::span::Span::SYNTH {
+        format!("{}: {}[{}]: {}", d.file, d.severity, d.rule, d.message)
+    } else {
+        format!(
+            "{}:{}:{}: {}[{}]: {}",
+            d.file, d.span.line, d.span.col, d.severity, d.rule, d.message
+        )
+    }
+}
+
+fn lint_json(diags: &[funtal::Diagnostic], files: usize) -> funtal_driver::json::Json {
+    use funtal_driver::json::{obj, Json};
+    let count = |s| diags.iter().filter(|d| d.severity == s).count() as i64;
+    obj([
+        ("lint", Json::Bool(true)),
+        ("files", Json::Int(files as i64)),
+        (
+            "findings",
+            Json::Arr(
+                diags
+                    .iter()
+                    .map(|d| {
+                        obj([
+                            ("file", Json::Str(d.file.clone())),
+                            ("line", Json::Int(d.span.line as i64)),
+                            ("col", Json::Int(d.span.col as i64)),
+                            ("rule", Json::Str(d.rule.clone())),
+                            ("severity", Json::Str(d.severity.to_string())),
+                            ("message", Json::Str(d.message.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("errors", Json::Int(count(funtal::Severity::Error))),
+        ("warnings", Json::Int(count(funtal::Severity::Warning))),
+        ("notes", Json::Int(count(funtal::Severity::Note))),
+    ])
+}
+
+fn cmd_lint(o: &Opts) -> Result<(), FunTalError> {
+    if o.files.is_empty() {
+        return Err(FunTalError::driver("`funtal lint` needs at least one file"));
+    }
+    let p = pipeline(o);
+    let mut diags = Vec::new();
+    // Files keep their command-line order; findings within a file are
+    // already in the deterministic normal form.
+    for file in &o.files {
+        let src = read_file(file)?;
+        if file.ends_with(".mf") {
+            diags.extend(p.lint_minif_source(file, &src)?);
+        } else {
+            diags.extend(p.lint_source(file, &src)?);
+        }
+    }
+    let count = |s| diags.iter().filter(|d| d.severity == s).count();
+    let errors = count(funtal::Severity::Error);
+    let warnings = count(funtal::Severity::Warning);
+    let notes = count(funtal::Severity::Note);
+    if o.format == "json" {
+        println!("{}", lint_json(&diags, o.files.len()));
+    } else {
+        for d in &diags {
+            println!("{}", render_diag(d));
+        }
+        println!(
+            "lint: {errors} error(s), {warnings} warning(s), {notes} note(s) in {} file(s)",
+            o.files.len()
+        );
+    }
+    if errors > 0 {
+        return Err(FunTalError::driver(format!("lint found {errors} error(s)")));
+    }
+    if o.deny_warnings && warnings > 0 {
+        return Err(FunTalError::driver(format!(
+            "lint found {warnings} warning(s) (denied by --deny warnings)"
+        )));
     }
     Ok(())
 }
@@ -519,6 +646,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&o),
         "profile" => cmd_profile(&o),
         "compile" => cmd_compile(&o),
+        "lint" => cmd_lint(&o),
         "equiv" => cmd_equiv(&o),
         "batch" => cmd_batch(&o),
         "serve" => cmd_serve(&o),

@@ -94,8 +94,45 @@ const CASES: &[Case] = &[
             "5",
         ],
     ),
+    // run with the on-demand bytecode verifier: the verify line, then
+    // the byte-identical run output.
+    case(
+        "run_fact_t_verify",
+        &[
+            "run",
+            "examples/fact_t.ft",
+            "--verify-bytecode",
+            "--tier",
+            "bytecode",
+            "--steps",
+        ],
+    ),
+    // lint: the static-analysis diagnostics over every example at
+    // once (the CI gate invocation: clean at warning level), plus the
+    // JSON rendering and a single-file table.
+    case(
+        "lint_examples",
+        &[
+            "lint",
+            "examples/double_twice.ft",
+            "examples/fact_t.ft",
+            "examples/fact.mf",
+            "examples/poly.mf",
+            "--deny",
+            "warnings",
+        ],
+    ),
+    case(
+        "lint_poly_json",
+        &["lint", "examples/poly.mf", "--format", "json"],
+    ),
+    case("lint_fact_mf", &["lint", "examples/fact.mf"]),
     // compile: plain, TCO, and applied.
     case("compile_fact", &["compile", "examples/fact.mf"]),
+    case(
+        "compile_poly_call",
+        &["compile", "examples/poly.mf", "--call", "poly", "3", "4"],
+    ),
     case(
         "compile_fact_tco_call",
         &[

@@ -20,6 +20,7 @@
 //! verdict of "no difference found" is evidence, not proof; a reported
 //! [`Counterexample`] is, however, a genuine inequivalence witness.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gen;

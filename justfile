@@ -54,9 +54,18 @@ lint:
     cargo fmt --all --check
     cargo clippy --workspace --all-targets -- -D warnings
 
+# The static-analysis gate, exactly as CI runs it: every committed
+# example must pass `funtal lint` clean at warning level. (The
+# generated differential corpus is gated by the verify_props and
+# fuel_bounds suites under `just test`.)
+lint-gate:
+    cargo run -q -p funtal-driver -- lint \
+        examples/double_twice.ft examples/fact_t.ft \
+        examples/fact.mf examples/poly.mf --deny warnings
+
 # Apply formatting.
 fmt:
     cargo fmt --all
 
 # Everything CI runs, locally.
-ci: build test lint bench
+ci: build test lint lint-gate bench

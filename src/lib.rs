@@ -13,6 +13,7 @@
 //! - [`funtal_compile`] — the MiniF→T compiler and JIT runtime (§6);
 //! - [`funtal_driver`] — the unified pipeline and the `funtal` CLI.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use funtal;
