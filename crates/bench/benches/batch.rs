@@ -11,12 +11,23 @@
 //! for core-count differences — so the regression gate (`bench_check`)
 //! gates only the single-threaded rows (`workers/1`, `warm/1`); the
 //! multi-worker rows are recorded for observation.
+//!
+//! `store_warm_start/{cold,warm}/24` measures the persistent tier's
+//! cross-process warm start: both rows run a memory-cold engine (a
+//! fresh [`ArtifactCache`] per iteration — the second-process
+//! configuration), against an empty store directory (`cold`) or one a
+//! previous "process" fully populated (`warm`). The warm row skips
+//! parse, typecheck, lowering, *and* MiniF compilation, paying only
+//! disk load + decode + verify-on-load; the gate pins warm ≥ 2× cold.
 
 #![forbid(unsafe_code)]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use funtal_driver::corpus::paper_corpus;
-use funtal_driver::{Batch, Job, Pipeline};
+use funtal_driver::{ArtifactCache, Batch, DiskStore, Job, JobKind, Pipeline};
 
 /// Corpus repeats per batch: 6 distinct programs × 4 = 24 jobs/iter.
 const ROUNDS: usize = 4;
@@ -71,5 +82,81 @@ fn batch_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, batch_throughput);
+/// The persistent-tier workload: every corpus program on the bytecode
+/// tier (parse + check + lower all cacheable) plus six distinct MiniF
+/// compilations — 6×3 + 6 = 24 jobs exercising all four store stages.
+fn store_jobs() -> Vec<Job> {
+    let sources = paper_corpus();
+    let mut jobs: Vec<Job> = (0..3)
+        .flat_map(|round| {
+            sources.iter().map(move |(name, src)| {
+                Job::run_tiered(
+                    format!("{name}@{round}"),
+                    src.clone(),
+                    funtal::machine::EvalStrategy::Bytecode,
+                )
+            })
+        })
+        .collect();
+    for i in 0..6 {
+        jobs.push(Job {
+            id: format!("mf{i}"),
+            kind: JobKind::Compile {
+                src: format!("fn f{i}(a, b) = if0 a {{ b + {i} }} {{ f{i}(a - 1, b + a) }}"),
+                tco: i % 2 == 0,
+                call: None,
+            },
+        });
+    }
+    jobs
+}
+
+/// A memory-cold engine (fresh `ArtifactCache`) over `dir` — the
+/// second-process configuration both rows measure.
+fn store_engine(dir: &std::path::Path) -> Batch {
+    let store = Arc::new(DiskStore::open(dir, 0).expect("open store"));
+    Batch::new(Pipeline::new().with_fuel(1_000_000))
+        .with_cache(Arc::new(ArtifactCache::with_store(store)))
+}
+
+fn store_warm_start(c: &mut Criterion) {
+    let jobs = store_jobs();
+    let mut g = c.benchmark_group("store_warm_start");
+    let seq = AtomicUsize::new(0);
+    let base = std::env::temp_dir().join(format!("funtal_bench_store_{}", std::process::id()));
+
+    // Cold: an empty store per iteration — every stage computes and
+    // writes through (the first process to ever see this corpus).
+    g.bench_function(BenchmarkId::new("cold", jobs.len()), |b| {
+        b.iter(|| {
+            let dir = base.join(format!("cold{}", seq.fetch_add(1, Ordering::Relaxed)));
+            let report = store_engine(&dir).run(&jobs);
+            assert_eq!(report.err_count(), 0);
+            let _ = std::fs::remove_dir_all(&dir);
+            report.outcomes.len()
+        })
+    });
+
+    // Warm: one pre-populated directory; each iteration is still
+    // memory-cold, so every artifact is served by the disk tier
+    // (verified on load) instead of recomputed.
+    let warm_dir = base.join("warm");
+    let _ = std::fs::remove_dir_all(&warm_dir);
+    let primed = store_engine(&warm_dir).run(&jobs);
+    assert_eq!(primed.err_count(), 0);
+    g.bench_function(BenchmarkId::new("warm", jobs.len()), |b| {
+        b.iter(|| {
+            let report = store_engine(&warm_dir).run(&jobs);
+            assert_eq!(report.err_count(), 0);
+            let stats = report.store.expect("store stats");
+            assert_eq!(stats.total_rejects(), 0);
+            assert!(stats.total_hits() > 0);
+            report.outcomes.len()
+        })
+    });
+    let _ = std::fs::remove_dir_all(&base);
+    g.finish();
+}
+
+criterion_group!(benches, batch_throughput, store_warm_start);
 criterion_main!(benches);

@@ -3,6 +3,7 @@
 //! ```text
 //! bench_check <BASELINE.json> <CURRENT.json> [--threshold 1.25]
 //!             [--prefix P]... [--speedup BASE:CUR:FACTOR]...
+//!             [--min-abs-us 10]
 //! ```
 //!
 //! Compares every benchmark in `BASELINE` matched by a gate entry —
@@ -29,6 +30,15 @@
 //! calibration). This is how the bytecode tier's headline claim —
 //! `fib_steady/bytecode/24` ≥ 2.5× over the frozen
 //! `fib_steady/compiled/24` — is pinned in CI rather than in prose.
+//!
+//! `--min-abs-us N` (default 10) is the absolute-time noise floor: a
+//! gated row whose baseline **and** current medians are both under N
+//! microseconds is reported but can never fail the regression check.
+//! Sub-floor rows measure so little work that scheduler jitter alone
+//! produces double-digit ratios; they stay in the snapshot (and the
+//! calibration sample) so trends remain visible, without flaking the
+//! gate. Cross-row `--speedup` assertions ignore the floor — they
+//! compare two rows that are both deliberately sized to be measurable.
 //!
 //! Snapshots from different machines are made comparable by
 //! **calibration** (on by default, `--no-calibrate` disables): the
@@ -97,6 +107,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files = Vec::new();
     let mut threshold = 1.25f64;
+    let mut min_abs_us = 10.0f64;
     let mut calibrate = true;
     let mut prefixes: Vec<String> = Vec::new();
     let mut speedups: Vec<(String, String, f64)> = Vec::new();
@@ -109,6 +120,16 @@ fn main() -> ExitCode {
                     Some(t) => t,
                     None => {
                         eprintln!("--threshold needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--min-abs-us" => {
+                i += 1;
+                min_abs_us = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(t) => t,
+                    None => {
+                        eprintln!("--min-abs-us needs a number");
                         return ExitCode::FAILURE;
                     }
                 };
@@ -170,7 +191,8 @@ fn main() -> ExitCode {
     let [baseline, current] = files.as_slice() else {
         eprintln!(
             "usage: bench_check <BASELINE.json> <CURRENT.json> \
-             [--threshold F] [--no-calibrate] [--prefix P]..."
+             [--threshold F] [--min-abs-us N] [--no-calibrate] \
+             [--prefix P]... [--speedup BASE:CUR:FACTOR]..."
         );
         return ExitCode::FAILURE;
     };
@@ -229,15 +251,32 @@ fn main() -> ExitCode {
             }
             Some(c) => {
                 let ratio = c.ns / row.ns / speed;
-                let verdict = if ratio > threshold { "FAIL" } else { "ok  " };
+                // The absolute-time noise floor: when both medians are
+                // under it, the row is too short to gate honestly —
+                // record the comparison, never fail it.
+                let floor_ns = min_abs_us * 1000.0;
+                let below_floor = row.ns < floor_ns && c.ns < floor_ns;
+                let fail = ratio > threshold && !below_floor;
+                let verdict = if fail {
+                    "FAIL"
+                } else if ratio > threshold {
+                    "ok~ " // over threshold but under the noise floor
+                } else {
+                    "ok  "
+                };
                 println!(
-                    "{verdict} {:<44} {:>12.1} -> {:>12.1} ns  ({:+.1}%)",
+                    "{verdict} {:<44} {:>12.1} -> {:>12.1} ns  ({:+.1}%){}",
                     row.id,
                     row.ns,
                     c.ns,
-                    (ratio - 1.0) * 100.0
+                    (ratio - 1.0) * 100.0,
+                    if below_floor {
+                        format!("  [below {min_abs_us}us floor]")
+                    } else {
+                        String::new()
+                    }
                 );
-                if ratio > threshold {
+                if fail {
                     failures += 1;
                 }
             }

@@ -1,0 +1,129 @@
+//! The `bench_check` gate as a black box: regression detection, the
+//! absolute-time noise floor, and cross-row speedup assertions.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn write_snapshot(tag: &str, rows: &[(&str, f64)]) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "funtal_bench_check_{}_{tag}.jsonl",
+        std::process::id()
+    ));
+    let mut text = String::new();
+    for (id, ns) in rows {
+        text.push_str(&format!(
+            "{{\"id\": \"{id}\", \"mean_ns\": {ns}, \"median_ns\": {ns}, \"iters\": 10}}\n"
+        ));
+    }
+    std::fs::write(&path, text).expect("write snapshot");
+    path
+}
+
+fn run_check(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_check"))
+        .args(args)
+        .output()
+        .expect("run bench_check");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn regressions_above_the_floor_fail() {
+    // 2x regression on a 2ms row: well above both threshold and floor.
+    let base = write_snapshot("reg_base", &[("g/slow", 2_000_000.0)]);
+    let cur = write_snapshot("reg_cur", &[("g/slow", 4_000_000.0)]);
+    let (ok, text) = run_check(&[
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--prefix",
+        "g/",
+        "--no-calibrate",
+    ]);
+    assert!(!ok, "{text}");
+    assert!(text.contains("FAIL g/slow"), "{text}");
+    let _ = std::fs::remove_file(base);
+    let _ = std::fs::remove_file(cur);
+}
+
+#[test]
+fn sub_floor_rows_are_recorded_but_never_fail() {
+    // A 3x "regression" from 2us to 6us: both medians are under the
+    // 10us default floor, so the row cannot flake the gate — but it
+    // still prints, floor-annotated.
+    let base = write_snapshot("floor_base", &[("g/tiny", 2_000.0)]);
+    let cur = write_snapshot("floor_cur", &[("g/tiny", 6_000.0)]);
+    let (ok, text) = run_check(&[
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--prefix",
+        "g/",
+        "--no-calibrate",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("g/tiny"), "{text}");
+    assert!(text.contains("below 10us floor"), "{text}");
+
+    // Raising the current median above the floor re-arms the gate:
+    // 2us -> 20us is a real (if small in absolute terms) regression
+    // only one side of which is sub-floor.
+    let cur2 = write_snapshot("floor_cur2", &[("g/tiny", 20_000.0)]);
+    let (ok2, text2) = run_check(&[
+        base.to_str().unwrap(),
+        cur2.to_str().unwrap(),
+        "--prefix",
+        "g/",
+        "--no-calibrate",
+    ]);
+    assert!(!ok2, "{text2}");
+
+    // An explicit --min-abs-us can widen the floor to cover it again.
+    let (ok3, text3) = run_check(&[
+        base.to_str().unwrap(),
+        cur2.to_str().unwrap(),
+        "--prefix",
+        "g/",
+        "--no-calibrate",
+        "--min-abs-us",
+        "50",
+    ]);
+    assert!(ok3, "{text3}");
+    let _ = std::fs::remove_file(base);
+    let _ = std::fs::remove_file(cur);
+    let _ = std::fs::remove_file(cur2);
+}
+
+#[test]
+fn speedup_assertions_hold_and_fail() {
+    let base = write_snapshot(
+        "spd_base",
+        &[("s/cold/24", 3_000_000.0), ("s/warm/24", 1_000_000.0)],
+    );
+    let cur = write_snapshot(
+        "spd_cur",
+        &[("s/cold/24", 3_000_000.0), ("s/warm/24", 1_000_000.0)],
+    );
+    let args = |factor: &'static str| {
+        vec![
+            base.to_str().unwrap().to_string(),
+            cur.to_str().unwrap().to_string(),
+            "--prefix".to_string(),
+            "s/cold/24".to_string(),
+            "--no-calibrate".to_string(),
+            "--speedup".to_string(),
+            format!("s/cold/24:s/warm/24:{factor}"),
+        ]
+    };
+    let (ok, text) = run_check(&args("2.0").iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(ok, "{text}");
+    assert!(text.contains("3.00x"), "{text}");
+    let (ok2, text2) = run_check(&args("4.0").iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(!ok2, "{text2}");
+    assert!(text2.contains("FAIL speedup"), "{text2}");
+    let _ = std::fs::remove_file(base);
+    let _ = std::fs::remove_file(cur);
+}

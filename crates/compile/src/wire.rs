@@ -1,0 +1,197 @@
+//! Binary codecs for MiniF compilation artifacts (the persistent
+//! store's `compile` stage): the surface [`Program`] and the generated
+//! [`Compiled`] heap.
+//!
+//! Decoded [`Program`]s are re-validated ([`Program::validate`]) so a
+//! structurally well-formed but semantically stale entry (e.g. a call
+//! to a definition that no longer exists) rejects instead of
+//! resurfacing downstream.
+
+use funtal_store::{Reader, Wire, WireError, Writer};
+
+use crate::codegen::Compiled;
+use crate::lang::{Def, MExpr, Program};
+
+impl Wire for MExpr {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            MExpr::Var(name) => {
+                w.u8(0);
+                name.encode(w);
+            }
+            MExpr::Int(n) => {
+                w.u8(1);
+                w.i64(*n);
+            }
+            MExpr::Binop { op, lhs, rhs } => {
+                w.u8(2);
+                op.encode(w);
+                lhs.encode(w);
+                rhs.encode(w);
+            }
+            MExpr::If0 {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                w.u8(3);
+                cond.encode(w);
+                then_branch.encode(w);
+                else_branch.encode(w);
+            }
+            MExpr::Call { callee, args } => {
+                w.u8(4);
+                callee.encode(w);
+                args.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(MExpr::Var(String::decode(r)?)),
+            1 => Ok(MExpr::Int(r.i64()?)),
+            2 => Ok(MExpr::Binop {
+                op: Wire::decode(r)?,
+                lhs: Wire::decode(r)?,
+                rhs: Wire::decode(r)?,
+            }),
+            3 => Ok(MExpr::If0 {
+                cond: Wire::decode(r)?,
+                then_branch: Wire::decode(r)?,
+                else_branch: Wire::decode(r)?,
+            }),
+            4 => Ok(MExpr::Call {
+                callee: String::decode(r)?,
+                args: Wire::decode(r)?,
+            }),
+            tag => Err(WireError::BadTag { what: "MExpr", tag }),
+        }
+    }
+}
+
+impl Wire for Def {
+    fn encode(&self, w: &mut Writer) {
+        self.name.encode(w);
+        self.params.encode(w);
+        self.body.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Def {
+            name: String::decode(r)?,
+            params: Wire::decode(r)?,
+            body: MExpr::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Program {
+    fn encode(&self, w: &mut Writer) {
+        self.defs.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let p = Program {
+            defs: Wire::decode(r)?,
+        };
+        p.validate().map_err(|_| WireError::Invalid {
+            what: "decoded MiniF program fails validation",
+        })?;
+        Ok(p)
+    }
+}
+
+impl Wire for Compiled {
+    fn encode(&self, w: &mut Writer) {
+        self.heap.encode(w);
+        self.entries.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Compiled {
+            heap: Wire::decode(r)?,
+            entries: Wire::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::{compile_program, CodegenOpts};
+    use funtal_store::{decode_from_slice, encode_to_vec};
+    use funtal_syntax::ArithOp;
+
+    /// `def fact(n) = if0 n then 1 else n * fact(n - 1)`, built directly
+    /// (the MiniF concrete-syntax parser lives in the driver crate).
+    fn fact_program() -> Program {
+        let body = MExpr::If0 {
+            cond: Box::new(MExpr::Var("n".into())),
+            then_branch: Box::new(MExpr::Int(1)),
+            else_branch: Box::new(MExpr::Binop {
+                op: ArithOp::Mul,
+                lhs: Box::new(MExpr::Var("n".into())),
+                rhs: Box::new(MExpr::Call {
+                    callee: "fact".into(),
+                    args: vec![MExpr::Binop {
+                        op: ArithOp::Sub,
+                        lhs: Box::new(MExpr::Var("n".into())),
+                        rhs: Box::new(MExpr::Int(1)),
+                    }],
+                }),
+            }),
+        };
+        let def = Def {
+            name: "fact".into(),
+            params: vec!["n".into()],
+            body,
+        };
+        Program {
+            defs: [("fact".to_owned(), def)].into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn program_round_trips() {
+        let p = fact_program();
+        let bytes = encode_to_vec(&p);
+        let back: Program = decode_from_slice(&bytes).expect("decode");
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn compiled_round_trips_for_both_tco_modes() {
+        let p = fact_program();
+        for tco in [false, true] {
+            let compiled = compile_program(&p, CodegenOpts { tail_call_opt: tco });
+            let bytes = encode_to_vec(&compiled);
+            let back: Compiled = decode_from_slice(&bytes).expect("decode");
+            assert_eq!(back.entries, compiled.entries);
+            assert_eq!(back.heap.len(), compiled.heap.len());
+            for ((l1, v1), (l2, v2)) in compiled.heap.iter().zip(back.heap.iter()) {
+                assert_eq!(l1, l2);
+                assert_eq!(**v1, **v2);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_decoded_program_rejects() {
+        // A program whose body calls an undefined function encodes
+        // fine but must fail decode-time validation.
+        let p = Program {
+            defs: [(
+                "f".to_owned(),
+                Def {
+                    name: "f".to_owned(),
+                    params: vec![],
+                    body: MExpr::Call {
+                        callee: "missing".to_owned(),
+                        args: vec![],
+                    },
+                },
+            )]
+            .into_iter()
+            .collect(),
+        };
+        let bytes = encode_to_vec(&p);
+        assert!(decode_from_slice::<Program>(&bytes).is_err());
+    }
+}

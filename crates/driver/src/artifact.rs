@@ -1,0 +1,182 @@
+//! Payload codecs for the persistent artifact store's four stages.
+//!
+//! The disk tier ([`funtal_store::DiskStore`]) moves opaque byte
+//! payloads; this module is where the driver's artifact types meet
+//! those bytes. Per stage:
+//!
+//! | stage   | store key bytes              | payload                        |
+//! |---------|------------------------------|--------------------------------|
+//! | parse   | the source text              | term + span table              |
+//! | check   | the term's canonical rendering | the F type                   |
+//! | lower   | the term's canonical rendering | [`funtal::encode_lowered`]   |
+//! | compile | `[tco] ++ source text`       | program + heap + wrapped defs  |
+//!
+//! Decode is **total** (it returns `WireError`, never panics) and
+//! conservative: a decoded parse artifact recomputes its `check_key`
+//! from the decoded term (so a stale rendering cannot be resurrected),
+//! a decoded MiniF program re-validates, and callers of
+//! [`decode_lowered`](funtal::decode_lowered) re-verify with
+//! [`funtal::verify_lowered`] before serving. Any failure on this path
+//! is a store *reject*: the entry is deleted and the stage recomputes.
+
+use std::sync::Arc;
+
+use funtal_store::{decode_from_slice, encode_to_vec, Reader, Wire, WireError, Writer};
+use funtal_syntax::span::SpanTable;
+use funtal_syntax::FTy;
+
+use crate::cache::Parsed;
+use crate::report::CompiledMiniF;
+
+/// The store key for a MiniF compilation: the codegen option byte
+/// followed by the source text (the disk analogue of the in-memory
+/// `(src, tco)` tuple key).
+pub fn compile_key(src: &str, tail_call_opt: bool) -> Vec<u8> {
+    let mut key = Vec::with_capacity(1 + src.len());
+    key.push(tail_call_opt as u8);
+    key.extend_from_slice(src.as_bytes());
+    key
+}
+
+/// Encodes a parse artifact (term + span table). The canonical
+/// rendering is *not* stored: decode recomputes it, so the typecheck
+/// key always agrees with the term actually served.
+pub fn encode_parsed(p: &Parsed) -> Vec<u8> {
+    let mut w = Writer::new();
+    p.expr.encode(&mut w);
+    p.spans.encode(&mut w);
+    w.into_vec()
+}
+
+/// Decodes a parse artifact; inverse of [`encode_parsed`].
+pub fn decode_parsed(bytes: &[u8]) -> Result<Parsed, WireError> {
+    let mut r = Reader::new(bytes);
+    let expr = Wire::decode(&mut r)?;
+    let spans: SpanTable = Wire::decode(&mut r)?;
+    r.finish()?;
+    Ok(Parsed {
+        check_key: funtal_syntax::FExpr::to_string(&expr),
+        expr,
+        spans: Arc::new(spans),
+    })
+}
+
+/// Encodes a typecheck artifact (the program's F type).
+pub fn encode_checked(ty: &FTy) -> Vec<u8> {
+    encode_to_vec(ty)
+}
+
+/// Decodes a typecheck artifact; inverse of [`encode_checked`].
+pub fn decode_checked(bytes: &[u8]) -> Result<FTy, WireError> {
+    decode_from_slice(bytes)
+}
+
+/// Encodes a MiniF compilation artifact: the validated source program,
+/// the generated T heap, and the boundary-wrapped definitions.
+pub fn encode_compiled(bundle: &CompiledMiniF) -> Vec<u8> {
+    let mut w = Writer::new();
+    bundle.program.encode(&mut w);
+    bundle.compiled.encode(&mut w);
+    bundle.wrapped.encode(&mut w);
+    w.into_vec()
+}
+
+/// Decodes a MiniF compilation artifact; inverse of
+/// [`encode_compiled`]. The embedded program re-validates during
+/// decode (see `funtal_compile::wire`).
+pub fn decode_compiled(bytes: &[u8]) -> Result<CompiledMiniF, WireError> {
+    let mut r = Reader::new(bytes);
+    let program = Wire::decode(&mut r)?;
+    let compiled = Wire::decode(&mut r)?;
+    let wrapped = Wire::decode(&mut r)?;
+    r.finish()?;
+    Ok(CompiledMiniF {
+        program,
+        compiled,
+        wrapped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pipeline;
+
+    #[test]
+    fn parse_artifact_round_trips_and_recomputes_its_key() {
+        let p = Pipeline::new();
+        let src = "FT[int](mv r1, 6; mul r1, r1, 7; halt int, * {r1})";
+        let (expr, spans) = p.parse_spanned(src).expect("parse");
+        let parsed = Parsed {
+            check_key: expr.to_string(),
+            expr,
+            spans: Arc::new(spans),
+        };
+        let bytes = encode_parsed(&parsed);
+        let back = decode_parsed(&bytes).expect("decode");
+        assert_eq!(back.expr, parsed.expr);
+        assert_eq!(back.check_key, parsed.check_key);
+        assert_eq!(*back.spans, *parsed.spans);
+    }
+
+    #[test]
+    fn checked_artifact_round_trips() {
+        let p = Pipeline::new();
+        let expr = p.parse("(lam[z](x: int). x + 1)(41)").expect("parse");
+        let ty = p.check(&expr).expect("check");
+        let bytes = encode_checked(&ty);
+        assert_eq!(decode_checked(&bytes).expect("decode"), ty);
+    }
+
+    #[test]
+    fn compiled_artifact_round_trips_for_both_tco_modes() {
+        for tco in [false, true] {
+            let p = Pipeline::new()
+                .with_codegen(funtal_compile::codegen::CodegenOpts { tail_call_opt: tco });
+            let bundle = p
+                .compile_minif_source("fn fact(n) = if0 n { 1 } { fact(n - 1) * n }")
+                .expect("compile");
+            let bytes = encode_compiled(&bundle);
+            let back = decode_compiled(&bytes).expect("decode");
+            assert_eq!(back.program, bundle.program);
+            assert_eq!(back.compiled.entries, bundle.compiled.entries);
+            assert_eq!(back.block_count(), bundle.block_count());
+            assert_eq!(back.wrapped.len(), bundle.wrapped.len());
+            for ((n1, e1, t1), (n2, e2, t2)) in bundle.wrapped.iter().zip(back.wrapped.iter()) {
+                assert_eq!(n1, n2);
+                assert_eq!(e1, e2);
+                assert_eq!(t1, t2);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_reject() {
+        let p = Pipeline::new();
+        let (expr, spans) = p.parse_spanned("1 + 2").expect("parse");
+        let parsed = Parsed {
+            check_key: expr.to_string(),
+            expr,
+            spans: Arc::new(spans),
+        };
+        let bytes = encode_parsed(&parsed);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_parsed(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn compile_keys_distinguish_options_and_sources() {
+        assert_ne!(
+            compile_key("fn f(n) = n", false),
+            compile_key("fn f(n) = n", true)
+        );
+        assert_ne!(
+            compile_key("fn f(n) = n", false),
+            compile_key("fn g(n) = n", false)
+        );
+    }
+}

@@ -460,6 +460,9 @@ pub struct BatchReport {
     pub outcomes: Vec<JobOutcome>,
     /// Cache hit/miss counters at batch end.
     pub cache: CacheStats,
+    /// Disk-tier counters at batch end, when the engine's cache is
+    /// backed by a persistent store (`--store-dir`).
+    pub store: Option<funtal_store::StoreStats>,
     /// Worker threads the batch ran on.
     pub workers: usize,
 }
@@ -485,10 +488,12 @@ impl BatchReport {
         out
     }
 
-    /// The summary line: job counts, worker count, cache counters.
+    /// The summary line: job counts, worker count, cache counters, and
+    /// — when a persistent store is configured — its disk counters.
     pub fn summary_json(&self) -> Json {
         render_summary(
             &self.cache,
+            self.store.as_ref(),
             self.outcomes.len(),
             self.ok_count(),
             self.err_count(),
@@ -499,8 +504,12 @@ impl BatchReport {
 
 /// The one summary-line schema, shared by `funtal batch` (via
 /// [`BatchReport::summary_json`]) and `funtal serve`'s parting line.
+/// The `"store"` block appears only when a persistent store is
+/// configured, so storeless summaries are byte-identical to earlier
+/// releases.
 pub fn render_summary(
     cache: &CacheStats,
+    store: Option<&funtal_store::StoreStats>,
     jobs: usize,
     ok: usize,
     err: usize,
@@ -519,7 +528,7 @@ pub fn render_summary(
         ("misses", Json::Int(cache.lower.misses as i64)),
         ("rejects", Json::Int(cache.lower.rejects as i64)),
     ]);
-    obj([
+    let mut fields = vec![
         ("summary", Json::Bool(true)),
         ("jobs", Json::Int(jobs as i64)),
         ("ok", Json::Int(ok as i64)),
@@ -534,7 +543,28 @@ pub fn render_summary(
                 ("compile", stage(cache.compile)),
             ]),
         ),
-    ])
+    ];
+    if let Some(s) = store {
+        // Every disk stage verifies on load, so every disk stage
+        // carries a reject counter.
+        let disk = |d: funtal_store::StageDiskStats| {
+            obj([
+                ("hits", Json::Int(d.hits as i64)),
+                ("misses", Json::Int(d.misses as i64)),
+                ("rejects", Json::Int(d.rejects as i64)),
+            ])
+        };
+        fields.push((
+            "store",
+            obj([
+                ("parse", disk(s.parse)),
+                ("check", disk(s.check)),
+                ("lower", disk(s.lower)),
+                ("compile", disk(s.compile)),
+            ]),
+        ));
+    }
+    obj(fields)
 }
 
 /// The batch execution engine: a [`Pipeline`] configuration, a worker
@@ -630,6 +660,7 @@ impl Batch {
                 .map(|o| o.expect("every job produced an outcome"))
                 .collect(),
             cache: self.cache.stats(),
+            store: self.cache.store_stats(),
             workers,
         }
     }

@@ -36,6 +36,29 @@
 //! which keeps `hits + misses == lookups` as the cross-thread
 //! invariant the stress tests assert.
 //!
+//! # The persistent tier
+//!
+//! A cache opened [`with_store`](ArtifactCache::with_store) layers a
+//! disk-backed [`DiskStore`] *below* the in-process maps:
+//!
+//! ```text
+//! memory probe → disk probe (verify-on-load) → compute (write-through)
+//! ```
+//!
+//! A memory miss still counts as a memory miss — the in-process
+//! counters keep their exact storeless semantics — and the disk tier
+//! keeps its own per-stage hit/miss/reject counters
+//! ([`store_stats`](ArtifactCache::store_stats)). Every disk load is
+//! re-verified before it is served: the container layer already proved
+//! magic/version/checksum/full-key, and this layer re-decodes the
+//! payload (total, never panics) plus re-runs `verify_lowered` for
+//! lowered bytecode. Anything that fails is a *reject*: the entry is
+//! deleted, the counters record it, and the stage degrades to
+//! recompute — a corrupt store can cost time, never correctness.
+//! Computed artifacts are written through (errors are not stored), so
+//! a second process pointed at the same `--store-dir` warm-starts
+//! every stage.
+//!
 //! [`source_key`]: ArtifactCache::source_key
 //! [`term_key`]: ArtifactCache::term_key
 //! [`compile_key`]: ArtifactCache::compile_key
@@ -44,10 +67,12 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use funtal_store::{DiskStore, Stage, StoreStats};
 use funtal_syntax::hash::{hash_fexpr, StableHasher};
 use funtal_syntax::span::SpanTable;
 use funtal_syntax::{FExpr, FTy};
 
+use crate::artifact;
 use crate::report::CompiledMiniF;
 
 /// Hit/miss counters for one cached stage.
@@ -178,6 +203,10 @@ pub struct ArtifactCache {
     check: Shard<String, FTy>,
     lower: Shard<String, funtal::LoweredProgram>,
     compile: Shard<(String, bool), CompiledMiniF>,
+    /// The persistent tier, probed on memory misses and written
+    /// through on computes. `None` (the default) keeps the cache
+    /// purely in-process.
+    store: Option<Arc<DiskStore>>,
 }
 
 // Workers on every thread probe the cache concurrently.
@@ -190,6 +219,59 @@ impl ArtifactCache {
     /// A fresh, empty cache.
     pub fn new() -> ArtifactCache {
         ArtifactCache::default()
+    }
+
+    /// A fresh cache backed by a persistent [`DiskStore`]: memory
+    /// misses probe the disk tier (verify-on-load) before computing,
+    /// and computed artifacts are written through.
+    pub fn with_store(store: Arc<DiskStore>) -> ArtifactCache {
+        ArtifactCache {
+            store: Some(store),
+            ..ArtifactCache::default()
+        }
+    }
+
+    /// The persistent tier, when one is configured.
+    pub fn store(&self) -> Option<&Arc<DiskStore>> {
+        self.store.as_ref()
+    }
+
+    /// A point-in-time copy of the disk-tier counters, when a store is
+    /// configured.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|s| s.stats())
+    }
+
+    /// Probes the disk tier (if any) for `key`, decoding and verifying
+    /// with `decode`. A payload that fails decode/verify is a reject:
+    /// the entry is deleted and the probe reports a (disk) miss.
+    fn disk_probe<V>(
+        &self,
+        stage: Stage,
+        key: &[u8],
+        decode: impl FnOnce(&[u8]) -> Option<V>,
+    ) -> Option<V> {
+        let store = self.store.as_deref()?;
+        let payload = store.load(stage, key)?;
+        match decode(&payload) {
+            Some(value) => {
+                store.hit(stage);
+                Some(value)
+            }
+            None => {
+                store.reject(stage, key);
+                None
+            }
+        }
+    }
+
+    /// Writes a computed artifact through to the disk tier (if any).
+    /// Write failures are deliberately swallowed: the store is a
+    /// cache, and a full or read-only disk must not fail the job.
+    fn disk_save(&self, stage: Stage, key: &[u8], encode: impl FnOnce() -> Vec<u8>) {
+        if let Some(store) = &self.store {
+            let _ = store.save(stage, key, &encode());
+        }
     }
 
     /// The 64-bit content address of a source text (reporting and
@@ -229,11 +311,25 @@ impl ArtifactCache {
             return Ok(found.clone());
         }
         self.parse.counters.miss();
+        if let Some(parsed) = self.disk_probe(Stage::Parse, src.as_bytes(), |bytes| {
+            artifact::decode_parsed(bytes).ok()
+        }) {
+            let value = Arc::new(parsed);
+            self.parse
+                .map
+                .lock()
+                .expect("cache poisoned")
+                .insert(src.to_string(), value.clone());
+            return Ok(value);
+        }
         let (expr, spans) = compute()?;
         let value = Arc::new(Parsed {
             check_key: expr.to_string(),
             expr,
             spans: Arc::new(spans),
+        });
+        self.disk_save(Stage::Parse, src.as_bytes(), || {
+            artifact::encode_parsed(&value)
         });
         self.parse
             .map
@@ -262,7 +358,21 @@ impl ArtifactCache {
             return Ok(found.clone());
         }
         self.check.counters.miss();
+        if let Some(ty) = self.disk_probe(Stage::Check, check_key.as_bytes(), |bytes| {
+            artifact::decode_checked(bytes).ok()
+        }) {
+            let value = Arc::new(ty);
+            self.check
+                .map
+                .lock()
+                .expect("cache poisoned")
+                .insert(check_key.to_string(), value.clone());
+            return Ok(value);
+        }
         let value = Arc::new(compute()?);
+        self.disk_save(Stage::Check, check_key.as_bytes(), || {
+            artifact::encode_checked(&value)
+        });
         self.check
             .map
             .lock()
@@ -319,7 +429,27 @@ impl ArtifactCache {
             self.lower.counters.reject();
         }
         self.lower.counters.miss();
+        // The disk probe verifies twice over: the payload must decode
+        // (total, structural) *and* the decoded program must pass the
+        // bytecode verifier — the same `verify_lowered` gate the
+        // in-memory tier applies on every hit.
+        if let Some(lowered) = self.disk_probe(Stage::Lower, check_key.as_bytes(), |bytes| {
+            funtal::decode_lowered(bytes)
+                .ok()
+                .filter(|lp| funtal::verify_lowered(lp).is_ok())
+        }) {
+            let value = Arc::new(lowered);
+            self.lower
+                .map
+                .lock()
+                .expect("cache poisoned")
+                .insert(check_key.to_string(), value.clone());
+            return value;
+        }
         let value = Arc::new(compute());
+        self.disk_save(Stage::Lower, check_key.as_bytes(), || {
+            funtal::encode_lowered(&value)
+        });
         self.lower
             .map
             .lock()
@@ -335,8 +465,39 @@ impl ArtifactCache {
         tail_call_opt: bool,
         compute: impl FnOnce() -> Result<CompiledMiniF, E>,
     ) -> Result<Arc<CompiledMiniF>, E> {
+        if self.store.is_none() {
+            return self
+                .compile
+                .get_or_try_insert((src.to_string(), tail_call_opt), compute);
+        }
+        let key = (src.to_string(), tail_call_opt);
+        if let Some(found) = self.compile.map.lock().expect("cache poisoned").get(&key) {
+            self.compile.counters.hit();
+            return Ok(found.clone());
+        }
+        self.compile.counters.miss();
+        let disk_key = artifact::compile_key(src, tail_call_opt);
+        if let Some(bundle) = self.disk_probe(Stage::Compile, &disk_key, |bytes| {
+            artifact::decode_compiled(bytes).ok()
+        }) {
+            let value = Arc::new(bundle);
+            self.compile
+                .map
+                .lock()
+                .expect("cache poisoned")
+                .insert(key, value.clone());
+            return Ok(value);
+        }
+        let value = Arc::new(compute()?);
+        self.disk_save(Stage::Compile, &disk_key, || {
+            artifact::encode_compiled(&value)
+        });
         self.compile
-            .get_or_try_insert((src.to_string(), tail_call_opt), compute)
+            .map
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, value.clone());
+        Ok(value)
     }
 
     /// A point-in-time copy of all counters.

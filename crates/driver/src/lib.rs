@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod batch;
 pub mod cache;
 pub mod corpus;
@@ -56,6 +57,7 @@ use funtal_tal::{Profiler, RootLang};
 pub use batch::{Batch, BatchReport, Job, JobKind, JobOutcome, JobSuccess};
 pub use cache::{ArtifactCache, CacheStats};
 pub use error::FunTalError;
+pub use funtal_store::{DiskStore, StoreStats};
 pub use report::{Checked, CompiledMiniF, ProfileReport, RunReport, TraceReport};
 
 /// Builds the span table attributing compiled MiniF block labels to

@@ -51,6 +51,12 @@ COMMANDS:
     serve                   long-lived JSON-lines loop: one job per stdin
                             line, one result per stdout line, caches warm
                             across requests
+    store    ACTION         inspect the persistent artifact store
+                            (needs --store-dir): `stats` prints per-stage
+                            entry counts and sizes, `gc` enforces the
+                            size cap (least-recently-used eviction),
+                            `verify` re-checks every entry's container
+                            and payload and exits non-zero on corruption
 
 OPTIONS:
     --fuel N        evaluation step bound          [default: 1000000]
@@ -81,6 +87,14 @@ OPTIONS:
     --workers N     with `batch`: worker threads          [default: 1]
     --repeat K      with `batch`: submit the job list K times (repeat
                     r >= 2 suffixes ids with #r; exercises the caches)
+    --store-dir DIR with `batch`/`serve`/`store`: directory of the
+                    persistent artifact store; computed artifacts are
+                    written through and later processes warm-start
+                    from disk (every load is verified, corrupt entries
+                    degrade to recompute)
+    --store-cap N   with --store-dir: store size cap in bytes before
+                    least-recently-used eviction (0 = unlimited)
+                                            [default: 268435456]
     -h, --help      print this help
 ";
 
@@ -103,6 +117,8 @@ struct Opts {
     repeat: usize,
     verify_bytecode: bool,
     deny_warnings: bool,
+    store_dir: Option<String>,
+    store_cap: u64,
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, FunTalError> {
@@ -124,6 +140,8 @@ fn parse_args(args: &[String]) -> Result<Opts, FunTalError> {
         repeat: 1,
         verify_bytecode: false,
         deny_warnings: false,
+        store_dir: None,
+        store_cap: 256 * 1024 * 1024,
     };
     let mut i = 0;
     let take = |args: &[String], i: &mut usize, flag: &str| -> Result<String, FunTalError> {
@@ -178,6 +196,10 @@ fn parse_args(args: &[String]) -> Result<Opts, FunTalError> {
             }
             "--repeat" => {
                 o.repeat = parse_num::<usize>(&take(args, &mut i, "--repeat")?, "--repeat")?.max(1)
+            }
+            "--store-dir" => o.store_dir = Some(take(args, &mut i, "--store-dir")?),
+            "--store-cap" => {
+                o.store_cap = parse_num(&take(args, &mut i, "--store-cap")?, "--store-cap")?
             }
             "--call" => {
                 let name = take(args, &mut i, "--call")?;
@@ -526,9 +548,32 @@ fn batch_jobs(o: &Opts) -> Result<Vec<Job>, FunTalError> {
     Ok(jobs)
 }
 
+/// Opens the persistent artifact store named by `--store-dir`, if any.
+fn open_store(o: &Opts) -> Result<Option<std::sync::Arc<funtal_driver::DiskStore>>, FunTalError> {
+    match &o.store_dir {
+        None => Ok(None),
+        Some(dir) => funtal_driver::DiskStore::open(dir, o.store_cap)
+            .map(|s| Some(std::sync::Arc::new(s)))
+            .map_err(|e| FunTalError::Io {
+                path: dir.clone(),
+                cause: e.to_string(),
+            }),
+    }
+}
+
+/// A batch/serve engine cache, disk-backed when `--store-dir` is given.
+fn engine_cache(o: &Opts) -> Result<std::sync::Arc<funtal_driver::ArtifactCache>, FunTalError> {
+    Ok(std::sync::Arc::new(match open_store(o)? {
+        Some(store) => funtal_driver::ArtifactCache::with_store(store),
+        None => funtal_driver::ArtifactCache::new(),
+    }))
+}
+
 fn cmd_batch(o: &Opts) -> Result<(), FunTalError> {
     let jobs = batch_jobs(o)?;
-    let engine = Batch::new(pipeline(o)).with_workers(o.workers);
+    let engine = Batch::new(pipeline(o))
+        .with_workers(o.workers)
+        .with_cache(engine_cache(o)?);
     let report = engine.run(&jobs);
     print!("{}", report.result_lines());
     println!("{}", report.summary_json());
@@ -554,7 +599,7 @@ fn cmd_serve(o: &Opts) -> Result<(), FunTalError> {
              `--workers` applies to `funtal batch`",
         ));
     }
-    let engine = Batch::new(pipeline(o));
+    let engine = Batch::new(pipeline(o)).with_cache(engine_cache(o)?);
     let stdin = std::io::stdin();
     let mut served = 0usize;
     let mut failed = 0usize;
@@ -617,6 +662,7 @@ fn cmd_serve(o: &Opts) -> Result<(), FunTalError> {
         "{}",
         funtal_driver::batch::render_summary(
             &engine.cache().stats(),
+            engine.cache().store_stats().as_ref(),
             served,
             served - failed,
             failed,
@@ -624,6 +670,109 @@ fn cmd_serve(o: &Opts) -> Result<(), FunTalError> {
         )
     );
     Ok(())
+}
+
+/// `funtal store stats|gc|verify --store-dir DIR`: offline maintenance
+/// of the persistent artifact store.
+fn cmd_store(o: &Opts) -> Result<(), FunTalError> {
+    use funtal_store::{parse_container, Stage};
+    let action = match o.files.as_slice() {
+        [a] => a.as_str(),
+        _ => {
+            return Err(FunTalError::driver(
+                "`funtal store` takes exactly one action: stats, gc, or verify",
+            ))
+        }
+    };
+    let Some(dir) = &o.store_dir else {
+        return Err(FunTalError::driver("`funtal store` needs --store-dir DIR"));
+    };
+    let store = funtal_driver::DiskStore::open(dir, o.store_cap).map_err(|e| FunTalError::Io {
+        path: dir.clone(),
+        cause: e.to_string(),
+    })?;
+    let io_err = |e: std::io::Error| FunTalError::Io {
+        path: dir.clone(),
+        cause: e.to_string(),
+    };
+    match action {
+        "stats" => {
+            let mut total_entries = 0usize;
+            let mut total_bytes = 0u64;
+            println!("store: {dir} (cap: {} bytes)", store.cap_bytes());
+            for stage in Stage::ALL {
+                let entries = store.entries(stage).map_err(io_err)?;
+                let bytes: u64 = entries.iter().map(|e| e.bytes).sum();
+                total_entries += entries.len();
+                total_bytes += bytes;
+                println!(
+                    "{:<8} {} entrie(s), {} byte(s)",
+                    format!("{}:", stage.dir()),
+                    entries.len(),
+                    bytes
+                );
+            }
+            println!("total:   {total_entries} entrie(s), {total_bytes} byte(s)");
+            Ok(())
+        }
+        "gc" => {
+            let report = store.gc().map_err(io_err)?;
+            println!(
+                "gc: examined {}, removed {}, {} -> {} byte(s) (cap: {})",
+                report.examined,
+                report.removed,
+                report.bytes_before,
+                report.bytes_after,
+                store.cap_bytes()
+            );
+            Ok(())
+        }
+        "verify" => {
+            // A read-only walk: every entry's container must parse for
+            // its own stage and its payload must decode (and, for
+            // lowerings, pass the bytecode verifier) — the exact gate
+            // a load would apply, without counters or deletions.
+            let mut ok = 0usize;
+            let mut corrupt = 0usize;
+            for entry in store.all_entries().map_err(io_err)? {
+                let bytes = std::fs::read(&entry.path).map_err(io_err)?;
+                let verdict = match parse_container(&bytes, Some(entry.stage), None) {
+                    Err(e) => Err(e.to_string()),
+                    Ok((_, _, payload)) => match entry.stage {
+                        Stage::Parse => funtal_driver::artifact::decode_parsed(&payload)
+                            .map(|_| ())
+                            .map_err(|e| e.to_string()),
+                        Stage::Check => funtal_driver::artifact::decode_checked(&payload)
+                            .map(|_| ())
+                            .map_err(|e| e.to_string()),
+                        Stage::Lower => funtal::decode_lowered(&payload)
+                            .map_err(|e| e.to_string())
+                            .and_then(|lp| funtal::verify_lowered(&lp).map_err(|e| e.to_string())),
+                        Stage::Compile => funtal_driver::artifact::decode_compiled(&payload)
+                            .map(|_| ())
+                            .map_err(|e| e.to_string()),
+                    },
+                };
+                match verdict {
+                    Ok(()) => ok += 1,
+                    Err(msg) => {
+                        corrupt += 1;
+                        println!("corrupt: {} ({msg})", entry.path.display());
+                    }
+                }
+            }
+            println!("verify: {ok} entrie(s) OK, {corrupt} corrupt");
+            if corrupt > 0 {
+                return Err(FunTalError::driver(format!(
+                    "store verify found {corrupt} corrupt entrie(s)"
+                )));
+            }
+            Ok(())
+        }
+        other => Err(FunTalError::driver(format!(
+            "`funtal store`: unknown action `{other}` (use stats, gc, or verify)"
+        ))),
+    }
 }
 
 fn main() -> ExitCode {
@@ -650,6 +799,7 @@ fn main() -> ExitCode {
         "equiv" => cmd_equiv(&o),
         "batch" => cmd_batch(&o),
         "serve" => cmd_serve(&o),
+        "store" => cmd_store(&o),
         other => Err(FunTalError::driver(format!(
             "unknown command `{other}` (try `funtal --help`)"
         ))),

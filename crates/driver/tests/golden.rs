@@ -19,11 +19,14 @@
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 
-/// One golden case: a snapshot name, CLI arguments, optional stdin.
+/// One golden case: a snapshot name, CLI arguments, optional stdin,
+/// and an optional directory to delete before the run (so cases that
+/// share a persistent store directory start from a pinned cold state).
 struct Case {
     name: &'static str,
     args: &'static [&'static str],
     stdin: Option<&'static str>,
+    pre_clean: Option<&'static str>,
 }
 
 const fn case(name: &'static str, args: &'static [&'static str]) -> Case {
@@ -31,8 +34,14 @@ const fn case(name: &'static str, args: &'static [&'static str]) -> Case {
         name,
         args,
         stdin: None,
+        pre_clean: None,
     }
 }
+
+/// The fixed store directory the persistent-tier cases share. The
+/// first case pre-cleans it, so the cold → warm → stats → verify
+/// sequence is deterministic regardless of prior runs.
+const GOLDEN_STORE: &str = "/tmp/funtal_golden_store";
 
 /// The full matrix: all five original subcommands plus `batch` and
 /// `serve`, over every committed example, plus the error paths.
@@ -212,7 +221,53 @@ const CASES: &[Case] = &[
         name: "serve_session",
         args: &["serve"],
         stdin: Some(include_str!("golden/jobs.jsonl")),
+        pre_clean: None,
     },
+    // The persistent tier, as a cross-process sequence over one shared
+    // store directory. Cold: every stage computes and writes through
+    // (the summary's "store" block shows only misses). Warm: a new
+    // process, so the memory cache is cold but every artifact loads
+    // from disk (hits, zero rejects). The bytecode corpus then adds
+    // lower-stage entries, and stats/verify read the populated store
+    // back. Error jobs in the corpus pin that failures are never
+    // written through.
+    Case {
+        name: "batch_store_cold",
+        args: &[
+            "batch",
+            "crates/driver/tests/golden/jobs.jsonl",
+            "--store-dir",
+            GOLDEN_STORE,
+        ],
+        stdin: None,
+        pre_clean: Some(GOLDEN_STORE),
+    },
+    case(
+        "batch_store_warm",
+        &[
+            "batch",
+            "crates/driver/tests/golden/jobs.jsonl",
+            "--store-dir",
+            GOLDEN_STORE,
+        ],
+    ),
+    case(
+        "batch_store_bytecode",
+        &[
+            "batch",
+            "crates/driver/tests/golden/jobs_bytecode.jsonl",
+            "--store-dir",
+            GOLDEN_STORE,
+        ],
+    ),
+    case(
+        "store_stats",
+        &["store", "stats", "--store-dir", GOLDEN_STORE],
+    ),
+    case(
+        "store_verify",
+        &["store", "verify", "--store-dir", GOLDEN_STORE],
+    ),
 ];
 
 fn repo_root() -> PathBuf {
@@ -230,6 +285,9 @@ fn golden_dir() -> PathBuf {
 
 /// Runs the binary and renders the observation in the snapshot format.
 fn observe(case: &Case) -> String {
+    if let Some(dir) = case.pre_clean {
+        let _ = std::fs::remove_dir_all(dir);
+    }
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_funtal"));
     cmd.args(case.args)
         .current_dir(repo_root())

@@ -1,0 +1,209 @@
+//! Corruption injection against the persistent store: every mutated
+//! entry must be rejected on load (counted in `rejects`), the stage
+//! must recompute the correct artifact, and nothing may panic.
+//!
+//! Four container-level mutations (truncation, bit flip, version bump,
+//! simulated digest collision) are applied to every artifact kind, plus
+//! two payload-level corruptions that keep the container checksum valid
+//! (garbage payload bytes; a lowering that decodes but fails the
+//! bytecode verifier) to prove the decode/verify layer rejects what the
+//! container layer cannot see.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use funtal_driver::{ArtifactCache, Batch, DiskStore, Job, Pipeline};
+use funtal_store::Stage;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("funtal_store_corrupt_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One job per artifact kind; two parse-stage sources so the
+/// collision simulation has a pair of entries to swap.
+fn jobs() -> Vec<Job> {
+    vec![
+        Job::run("plain", "6 * 7"),
+        Job::run_tiered(
+            "bc",
+            "FT[int](mv r1, 6; mul r1, r1, 7; halt int, * {r1})",
+            funtal::machine::EvalStrategy::Bytecode,
+        ),
+        Job::compile("mf", "fn double(n) = n + n"),
+    ]
+}
+
+fn engine_on(dir: &Path) -> Batch {
+    let store = Arc::new(DiskStore::open(dir, 0).expect("open store"));
+    Batch::new(Pipeline::new()).with_cache(Arc::new(ArtifactCache::with_store(store)))
+}
+
+/// Populates a fresh store, applies `mutate` to every entry, then runs
+/// a memory-cold engine over the same jobs and asserts: identical
+/// results, zero disk hits, every probed entry rejected, no panics.
+fn assert_mutation_rejects(tag: &str, mutate: impl Fn(&Path)) {
+    let dir = temp_dir(tag);
+    let baseline = engine_on(&dir).run(&jobs());
+    assert_eq!(baseline.err_count(), 0);
+
+    let store = DiskStore::open(&dir, 0).expect("reopen");
+    let entries = store.all_entries().expect("entries");
+    assert!(
+        entries.len() >= 4,
+        "expected all stages populated: {entries:?}"
+    );
+    for e in &entries {
+        mutate(&e.path);
+    }
+
+    let recovered = engine_on(&dir).run(&jobs());
+    assert_eq!(
+        baseline.result_lines(),
+        recovered.result_lines(),
+        "{tag}: corruption changed results"
+    );
+    let stats = recovered.store.expect("store stats");
+    assert_eq!(stats.total_hits(), 0, "{tag}: a corrupt entry was served");
+    // Every stage that was probed rejected its corrupt entry. (100%
+    // rejection: rejects == lookups that found a file.)
+    assert!(stats.total_rejects() >= 4, "{tag}: {stats:?}");
+    for stage in Stage::ALL {
+        let s = stats.stage(stage);
+        assert_eq!(s.hits, 0, "{tag}/{stage:?}: {s:?}");
+        assert_eq!(s.lookups(), s.misses, "{tag}/{stage:?}: {s:?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_entries_reject_on_every_stage() {
+    assert_mutation_rejects("truncate", |path| {
+        let bytes = std::fs::read(path).expect("read");
+        std::fs::write(path, &bytes[..bytes.len() / 2]).expect("write");
+    });
+}
+
+#[test]
+fn bit_flipped_entries_reject_on_every_stage() {
+    assert_mutation_rejects("bitflip", |path| {
+        let mut bytes = std::fs::read(path).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(path, &bytes).expect("write");
+    });
+}
+
+#[test]
+fn version_bumped_entries_reject_on_every_stage() {
+    assert_mutation_rejects("version", |path| {
+        let mut bytes = std::fs::read(path).expect("read");
+        // Bytes 4..6 are the little-endian format version.
+        bytes[4] = bytes[4].wrapping_add(1);
+        std::fs::write(path, &bytes).expect("write");
+    });
+}
+
+#[test]
+fn simulated_digest_collisions_reject() {
+    // Serve entry A's container under entry B's path — what a 64-bit
+    // digest collision (or a renamed file) would look like. The
+    // embedded full key must catch it.
+    let dir = temp_dir("collide");
+    engine_on(&dir).run(&[Job::run("a", "6 * 7"), Job::run("b", "7 * 8")]);
+    let store = DiskStore::open(&dir, 0).expect("reopen");
+    let parse = store.entries(Stage::Parse).expect("entries");
+    assert_eq!(parse.len(), 2);
+    std::fs::copy(&parse[0].path, &parse[1].path).expect("copy");
+
+    let recovered = engine_on(&dir).run(&[Job::run("a", "6 * 7"), Job::run("b", "7 * 8")]);
+    assert_eq!(recovered.err_count(), 0);
+    let stats = recovered.store.expect("store stats");
+    // One of the two sources still loads fine; the clobbered one is a
+    // key mismatch and must reject.
+    assert_eq!(stats.parse.hits, 1, "{stats:?}");
+    assert_eq!(stats.parse.rejects, 1, "{stats:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn valid_containers_with_garbage_payloads_reject_at_decode() {
+    // `DiskStore::save` writes a perfectly valid container (magic,
+    // version, checksum over the garbage) — only the payload decoder
+    // can reject it. This exercises the `store.reject` path in the
+    // cache rather than the container parser.
+    let dir = temp_dir("garbage");
+    let baseline = engine_on(&dir).run(&jobs());
+    let store = DiskStore::open(&dir, 0).expect("reopen");
+
+    let src_plain = "6 * 7";
+    let src_bc = "FT[int](mv r1, 6; mul r1, r1, 7; halt int, * {r1})";
+    let src_mf = "fn double(n) = n + n";
+    let check_key = |src: &str| Pipeline::new().parse(src).expect("parse").to_string();
+    let garbage = b"not an artifact".as_slice();
+    store
+        .save(Stage::Parse, src_plain.as_bytes(), garbage)
+        .expect("save");
+    store
+        .save(Stage::Check, check_key(src_plain).as_bytes(), garbage)
+        .expect("save");
+    store
+        .save(Stage::Lower, check_key(src_bc).as_bytes(), garbage)
+        .expect("save");
+    store
+        .save(
+            Stage::Compile,
+            &funtal_driver::artifact::compile_key(src_mf, false),
+            garbage,
+        )
+        .expect("save");
+
+    let recovered = engine_on(&dir).run(&jobs());
+    assert_eq!(baseline.result_lines(), recovered.result_lines());
+    let stats = recovered.store.expect("store stats");
+    assert_eq!(stats.parse.rejects, 1, "{stats:?}");
+    assert_eq!(stats.check.rejects, 1, "{stats:?}");
+    assert_eq!(stats.lower.rejects, 1, "{stats:?}");
+    assert_eq!(stats.compile.rejects, 1, "{stats:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lowerings_that_decode_but_fail_verification_reject() {
+    // The strongest corruption: a payload that round-trips the wire
+    // format but whose bytecode no longer verifies (an out-of-bounds
+    // jump target). Only the `verify_lowered` gate catches this one.
+    let dir = temp_dir("unverifiable");
+    let src = "FT[int](mv r1, 6; mul r1, r1, 7; halt int, * {r1})";
+    let job = [Job::run_tiered(
+        "bc",
+        src,
+        funtal::machine::EvalStrategy::Bytecode,
+    )];
+    let baseline = engine_on(&dir).run(&job);
+
+    let expr = Pipeline::new().parse(src).expect("parse");
+    let mut corrupted = funtal::prelower(&expr);
+    assert!(funtal::bc_verify::corrupt_for_tests(&mut corrupted));
+    assert!(funtal::verify_lowered(&corrupted).is_err());
+    let store = DiskStore::open(&dir, 0).expect("reopen");
+    store
+        .save(
+            Stage::Lower,
+            expr.to_string().as_bytes(),
+            &funtal::encode_lowered(&corrupted),
+        )
+        .expect("save");
+
+    let recovered = engine_on(&dir).run(&job);
+    assert_eq!(baseline.result_lines(), recovered.result_lines());
+    let stats = recovered.store.expect("store stats");
+    assert_eq!(stats.lower.hits, 0, "{stats:?}");
+    assert_eq!(stats.lower.rejects, 1, "{stats:?}");
+    // The recompute replaced the bad entry: a third engine hits.
+    let third = engine_on(&dir).run(&job);
+    assert_eq!(third.store.expect("store stats").lower.hits, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

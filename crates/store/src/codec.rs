@@ -1,0 +1,1014 @@
+//! [`Wire`] codecs for the `funtal-syntax` vocabulary.
+//!
+//! Layout conventions: enums are a one-byte tag (declaration order)
+//! followed by the variant's fields in declaration order; structs are
+//! their fields in declaration order; maps/sequences are the generic
+//! containers from [`crate::wire`]. Tags are part of the persisted
+//! format — renumbering is a format break and must bump
+//! [`crate::disk::FORMAT_VERSION`].
+
+use funtal_syntax::{
+    ArithOp, CodeBlock, CodeTy, FExpr, FTy, HeapFrag, HeapTy, HeapVal, Inst, Instr, InstrSeq, Kind,
+    Label, Lam, Mutability, Reg, RegFileTy, RetMarker, SmallVal, Span, SpanTable, StackTail,
+    StackTy, TComp, TTy, Terminator, TyVar, TyVarDecl, VarName, WordVal,
+};
+
+use crate::wire::{Reader, Wire, WireError, Writer};
+
+fn bad_tag<T>(what: &'static str, tag: u8) -> Result<T, WireError> {
+    Err(WireError::BadTag { what, tag })
+}
+
+impl Wire for ArithOp {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(match self {
+            ArithOp::Add => 0,
+            ArithOp::Sub => 1,
+            ArithOp::Mul => 2,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(ArithOp::Add),
+            1 => Ok(ArithOp::Sub),
+            2 => Ok(ArithOp::Mul),
+            t => bad_tag("ArithOp", t),
+        }
+    }
+}
+
+impl Wire for Reg {
+    fn encode(&self, w: &mut Writer) {
+        let idx = Reg::ALL
+            .iter()
+            .position(|r| r == self)
+            .expect("Reg::ALL is exhaustive");
+        w.u8(idx as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.u8()?;
+        Reg::ALL
+            .get(tag as usize)
+            .copied()
+            .ok_or(WireError::BadTag { what: "Reg", tag })
+    }
+}
+
+macro_rules! name_wire {
+    ($ty:ident) => {
+        impl Wire for $ty {
+            fn encode(&self, w: &mut Writer) {
+                w.str(self.as_str());
+            }
+            fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+                Ok($ty::new(r.str(stringify!($ty))?))
+            }
+        }
+    };
+}
+
+name_wire!(Label);
+name_wire!(TyVar);
+name_wire!(VarName);
+
+impl Wire for Span {
+    fn encode(&self, w: &mut Writer) {
+        w.u32(self.line);
+        w.u32(self.col);
+        w.u32(self.end_line);
+        w.u32(self.end_col);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Span {
+            line: r.u32()?,
+            col: r.u32()?,
+            end_line: r.u32()?,
+            end_col: r.u32()?,
+        })
+    }
+}
+
+impl Wire for SpanTable {
+    fn encode(&self, w: &mut Writer) {
+        self.root.encode(w);
+        self.labels.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SpanTable {
+            root: Span::decode(r)?,
+            labels: Wire::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Kind {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(match self {
+            Kind::Ty => 0,
+            Kind::Stack => 1,
+            Kind::Ret => 2,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Kind::Ty),
+            1 => Ok(Kind::Stack),
+            2 => Ok(Kind::Ret),
+            t => bad_tag("Kind", t),
+        }
+    }
+}
+
+impl Wire for TyVarDecl {
+    fn encode(&self, w: &mut Writer) {
+        self.var.encode(w);
+        self.kind.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TyVarDecl {
+            var: TyVar::decode(r)?,
+            kind: Kind::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Mutability {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(match self {
+            Mutability::Ref => 0,
+            Mutability::Boxed => 1,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Mutability::Ref),
+            1 => Ok(Mutability::Boxed),
+            t => bad_tag("Mutability", t),
+        }
+    }
+}
+
+impl Wire for TTy {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            TTy::Var(v) => {
+                w.u8(0);
+                v.encode(w);
+            }
+            TTy::Unit => w.u8(1),
+            TTy::Int => w.u8(2),
+            TTy::Exists(v, t) => {
+                w.u8(3);
+                v.encode(w);
+                t.encode(w);
+            }
+            TTy::Rec(v, t) => {
+                w.u8(4);
+                v.encode(w);
+                t.encode(w);
+            }
+            TTy::Ref(ts) => {
+                w.u8(5);
+                ts.encode(w);
+            }
+            TTy::Boxed(h) => {
+                w.u8(6);
+                h.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(TTy::Var(TyVar::decode(r)?)),
+            1 => Ok(TTy::Unit),
+            2 => Ok(TTy::Int),
+            3 => Ok(TTy::Exists(TyVar::decode(r)?, Wire::decode(r)?)),
+            4 => Ok(TTy::Rec(TyVar::decode(r)?, Wire::decode(r)?)),
+            5 => Ok(TTy::Ref(Wire::decode(r)?)),
+            6 => Ok(TTy::Boxed(Wire::decode(r)?)),
+            t => bad_tag("TTy", t),
+        }
+    }
+}
+
+impl Wire for HeapTy {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            HeapTy::Code(c) => {
+                w.u8(0);
+                c.encode(w);
+            }
+            HeapTy::Tuple(ts) => {
+                w.u8(1);
+                ts.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(HeapTy::Code(CodeTy::decode(r)?)),
+            1 => Ok(HeapTy::Tuple(Wire::decode(r)?)),
+            t => bad_tag("HeapTy", t),
+        }
+    }
+}
+
+impl Wire for CodeTy {
+    fn encode(&self, w: &mut Writer) {
+        self.delta.encode(w);
+        self.chi.encode(w);
+        self.sigma.encode(w);
+        self.q.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(CodeTy {
+            delta: Wire::decode(r)?,
+            chi: RegFileTy::decode(r)?,
+            sigma: StackTy::decode(r)?,
+            q: RetMarker::decode(r)?,
+        })
+    }
+}
+
+impl Wire for RegFileTy {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RegFileTy(Wire::decode(r)?))
+    }
+}
+
+impl Wire for StackTail {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            StackTail::Empty => w.u8(0),
+            StackTail::Var(v) => {
+                w.u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(StackTail::Empty),
+            1 => Ok(StackTail::Var(TyVar::decode(r)?)),
+            t => bad_tag("StackTail", t),
+        }
+    }
+}
+
+impl Wire for StackTy {
+    fn encode(&self, w: &mut Writer) {
+        self.prefix.encode(w);
+        self.tail.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(StackTy {
+            prefix: Wire::decode(r)?,
+            tail: StackTail::decode(r)?,
+        })
+    }
+}
+
+impl Wire for RetMarker {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            RetMarker::Reg(reg) => {
+                w.u8(0);
+                reg.encode(w);
+            }
+            RetMarker::Stack(i) => {
+                w.u8(1);
+                i.encode(w);
+            }
+            RetMarker::Var(v) => {
+                w.u8(2);
+                v.encode(w);
+            }
+            RetMarker::End { ty, sigma } => {
+                w.u8(3);
+                ty.encode(w);
+                sigma.encode(w);
+            }
+            RetMarker::Out => w.u8(4),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(RetMarker::Reg(Reg::decode(r)?)),
+            1 => Ok(RetMarker::Stack(usize::decode(r)?)),
+            2 => Ok(RetMarker::Var(TyVar::decode(r)?)),
+            3 => Ok(RetMarker::End {
+                ty: Wire::decode(r)?,
+                sigma: StackTy::decode(r)?,
+            }),
+            4 => Ok(RetMarker::Out),
+            t => bad_tag("RetMarker", t),
+        }
+    }
+}
+
+impl Wire for Inst {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Inst::Ty(t) => {
+                w.u8(0);
+                t.encode(w);
+            }
+            Inst::Stack(s) => {
+                w.u8(1);
+                s.encode(w);
+            }
+            Inst::Ret(q) => {
+                w.u8(2);
+                q.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Inst::Ty(TTy::decode(r)?)),
+            1 => Ok(Inst::Stack(StackTy::decode(r)?)),
+            2 => Ok(Inst::Ret(RetMarker::decode(r)?)),
+            t => bad_tag("Inst", t),
+        }
+    }
+}
+
+impl Wire for FTy {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            FTy::Var(v) => {
+                w.u8(0);
+                v.encode(w);
+            }
+            FTy::Unit => w.u8(1),
+            FTy::Int => w.u8(2),
+            FTy::Arrow {
+                params,
+                phi_in,
+                phi_out,
+                ret,
+            } => {
+                w.u8(3);
+                params.encode(w);
+                phi_in.encode(w);
+                phi_out.encode(w);
+                ret.encode(w);
+            }
+            FTy::Rec(v, t) => {
+                w.u8(4);
+                v.encode(w);
+                t.encode(w);
+            }
+            FTy::Tuple(ts) => {
+                w.u8(5);
+                ts.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(FTy::Var(TyVar::decode(r)?)),
+            1 => Ok(FTy::Unit),
+            2 => Ok(FTy::Int),
+            3 => Ok(FTy::Arrow {
+                params: Wire::decode(r)?,
+                phi_in: Wire::decode(r)?,
+                phi_out: Wire::decode(r)?,
+                ret: Wire::decode(r)?,
+            }),
+            4 => Ok(FTy::Rec(TyVar::decode(r)?, Wire::decode(r)?)),
+            5 => Ok(FTy::Tuple(Wire::decode(r)?)),
+            t => bad_tag("FTy", t),
+        }
+    }
+}
+
+impl Wire for WordVal {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            WordVal::Unit => w.u8(0),
+            WordVal::Int(n) => {
+                w.u8(1);
+                w.i64(*n);
+            }
+            WordVal::Loc(l) => {
+                w.u8(2);
+                l.encode(w);
+            }
+            WordVal::Pack { hidden, body, ann } => {
+                w.u8(3);
+                hidden.encode(w);
+                body.encode(w);
+                ann.encode(w);
+            }
+            WordVal::Fold { ann, body } => {
+                w.u8(4);
+                ann.encode(w);
+                body.encode(w);
+            }
+            WordVal::Inst { body, args } => {
+                w.u8(5);
+                body.encode(w);
+                args.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(WordVal::Unit),
+            1 => Ok(WordVal::Int(r.i64()?)),
+            2 => Ok(WordVal::Loc(Label::decode(r)?)),
+            3 => Ok(WordVal::Pack {
+                hidden: TTy::decode(r)?,
+                body: Wire::decode(r)?,
+                ann: TTy::decode(r)?,
+            }),
+            4 => Ok(WordVal::Fold {
+                ann: TTy::decode(r)?,
+                body: Wire::decode(r)?,
+            }),
+            5 => Ok(WordVal::Inst {
+                body: Wire::decode(r)?,
+                args: Wire::decode(r)?,
+            }),
+            t => bad_tag("WordVal", t),
+        }
+    }
+}
+
+impl Wire for SmallVal {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            SmallVal::Reg(reg) => {
+                w.u8(0);
+                reg.encode(w);
+            }
+            SmallVal::Word(v) => {
+                w.u8(1);
+                v.encode(w);
+            }
+            SmallVal::Pack { hidden, body, ann } => {
+                w.u8(2);
+                hidden.encode(w);
+                body.encode(w);
+                ann.encode(w);
+            }
+            SmallVal::Fold { ann, body } => {
+                w.u8(3);
+                ann.encode(w);
+                body.encode(w);
+            }
+            SmallVal::Inst { body, args } => {
+                w.u8(4);
+                body.encode(w);
+                args.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(SmallVal::Reg(Reg::decode(r)?)),
+            1 => Ok(SmallVal::Word(WordVal::decode(r)?)),
+            2 => Ok(SmallVal::Pack {
+                hidden: TTy::decode(r)?,
+                body: Wire::decode(r)?,
+                ann: TTy::decode(r)?,
+            }),
+            3 => Ok(SmallVal::Fold {
+                ann: TTy::decode(r)?,
+                body: Wire::decode(r)?,
+            }),
+            4 => Ok(SmallVal::Inst {
+                body: Wire::decode(r)?,
+                args: Wire::decode(r)?,
+            }),
+            t => bad_tag("SmallVal", t),
+        }
+    }
+}
+
+impl Wire for Instr {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Instr::Arith { op, rd, rs, src } => {
+                w.u8(0);
+                op.encode(w);
+                rd.encode(w);
+                rs.encode(w);
+                src.encode(w);
+            }
+            Instr::Bnz { r, target } => {
+                w.u8(1);
+                r.encode(w);
+                target.encode(w);
+            }
+            Instr::Ld { rd, rs, idx } => {
+                w.u8(2);
+                rd.encode(w);
+                rs.encode(w);
+                idx.encode(w);
+            }
+            Instr::St { rd, idx, rs } => {
+                w.u8(3);
+                rd.encode(w);
+                idx.encode(w);
+                rs.encode(w);
+            }
+            Instr::Ralloc { rd, n } => {
+                w.u8(4);
+                rd.encode(w);
+                n.encode(w);
+            }
+            Instr::Balloc { rd, n } => {
+                w.u8(5);
+                rd.encode(w);
+                n.encode(w);
+            }
+            Instr::Mv { rd, src } => {
+                w.u8(6);
+                rd.encode(w);
+                src.encode(w);
+            }
+            Instr::Salloc(n) => {
+                w.u8(7);
+                n.encode(w);
+            }
+            Instr::Sfree(n) => {
+                w.u8(8);
+                n.encode(w);
+            }
+            Instr::Sld { rd, idx } => {
+                w.u8(9);
+                rd.encode(w);
+                idx.encode(w);
+            }
+            Instr::Sst { idx, rs } => {
+                w.u8(10);
+                idx.encode(w);
+                rs.encode(w);
+            }
+            Instr::Unpack { tv, rd, src } => {
+                w.u8(11);
+                tv.encode(w);
+                rd.encode(w);
+                src.encode(w);
+            }
+            Instr::Unfold { rd, src } => {
+                w.u8(12);
+                rd.encode(w);
+                src.encode(w);
+            }
+            Instr::Protect { phi, zeta } => {
+                w.u8(13);
+                phi.encode(w);
+                zeta.encode(w);
+            }
+            Instr::Import {
+                rd,
+                zeta,
+                protected,
+                ty,
+                body,
+            } => {
+                w.u8(14);
+                rd.encode(w);
+                zeta.encode(w);
+                protected.encode(w);
+                ty.encode(w);
+                body.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Instr::Arith {
+                op: ArithOp::decode(r)?,
+                rd: Reg::decode(r)?,
+                rs: Reg::decode(r)?,
+                src: SmallVal::decode(r)?,
+            }),
+            1 => Ok(Instr::Bnz {
+                r: Reg::decode(r)?,
+                target: SmallVal::decode(r)?,
+            }),
+            2 => Ok(Instr::Ld {
+                rd: Reg::decode(r)?,
+                rs: Reg::decode(r)?,
+                idx: usize::decode(r)?,
+            }),
+            3 => Ok(Instr::St {
+                rd: Reg::decode(r)?,
+                idx: usize::decode(r)?,
+                rs: Reg::decode(r)?,
+            }),
+            4 => Ok(Instr::Ralloc {
+                rd: Reg::decode(r)?,
+                n: usize::decode(r)?,
+            }),
+            5 => Ok(Instr::Balloc {
+                rd: Reg::decode(r)?,
+                n: usize::decode(r)?,
+            }),
+            6 => Ok(Instr::Mv {
+                rd: Reg::decode(r)?,
+                src: SmallVal::decode(r)?,
+            }),
+            7 => Ok(Instr::Salloc(usize::decode(r)?)),
+            8 => Ok(Instr::Sfree(usize::decode(r)?)),
+            9 => Ok(Instr::Sld {
+                rd: Reg::decode(r)?,
+                idx: usize::decode(r)?,
+            }),
+            10 => Ok(Instr::Sst {
+                idx: usize::decode(r)?,
+                rs: Reg::decode(r)?,
+            }),
+            11 => Ok(Instr::Unpack {
+                tv: TyVar::decode(r)?,
+                rd: Reg::decode(r)?,
+                src: SmallVal::decode(r)?,
+            }),
+            12 => Ok(Instr::Unfold {
+                rd: Reg::decode(r)?,
+                src: SmallVal::decode(r)?,
+            }),
+            13 => Ok(Instr::Protect {
+                phi: Wire::decode(r)?,
+                zeta: TyVar::decode(r)?,
+            }),
+            14 => Ok(Instr::Import {
+                rd: Reg::decode(r)?,
+                zeta: TyVar::decode(r)?,
+                protected: StackTy::decode(r)?,
+                ty: FTy::decode(r)?,
+                body: Wire::decode(r)?,
+            }),
+            t => bad_tag("Instr", t),
+        }
+    }
+}
+
+impl Wire for Terminator {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Terminator::Jmp(v) => {
+                w.u8(0);
+                v.encode(w);
+            }
+            Terminator::Call { target, sigma, q } => {
+                w.u8(1);
+                target.encode(w);
+                sigma.encode(w);
+                q.encode(w);
+            }
+            Terminator::Ret { target, val } => {
+                w.u8(2);
+                target.encode(w);
+                val.encode(w);
+            }
+            Terminator::Halt { ty, sigma, val } => {
+                w.u8(3);
+                ty.encode(w);
+                sigma.encode(w);
+                val.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Terminator::Jmp(SmallVal::decode(r)?)),
+            1 => Ok(Terminator::Call {
+                target: SmallVal::decode(r)?,
+                sigma: StackTy::decode(r)?,
+                q: RetMarker::decode(r)?,
+            }),
+            2 => Ok(Terminator::Ret {
+                target: Reg::decode(r)?,
+                val: Reg::decode(r)?,
+            }),
+            3 => Ok(Terminator::Halt {
+                ty: TTy::decode(r)?,
+                sigma: StackTy::decode(r)?,
+                val: Reg::decode(r)?,
+            }),
+            t => bad_tag("Terminator", t),
+        }
+    }
+}
+
+impl Wire for InstrSeq {
+    fn encode(&self, w: &mut Writer) {
+        self.instrs.encode(w);
+        self.term.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(InstrSeq {
+            instrs: Wire::decode(r)?,
+            term: Terminator::decode(r)?,
+        })
+    }
+}
+
+impl Wire for CodeBlock {
+    fn encode(&self, w: &mut Writer) {
+        self.delta.encode(w);
+        self.chi.encode(w);
+        self.sigma.encode(w);
+        self.q.encode(w);
+        self.body.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(CodeBlock {
+            delta: Wire::decode(r)?,
+            chi: RegFileTy::decode(r)?,
+            sigma: StackTy::decode(r)?,
+            q: RetMarker::decode(r)?,
+            body: InstrSeq::decode(r)?,
+        })
+    }
+}
+
+impl Wire for HeapVal {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            HeapVal::Code(c) => {
+                w.u8(0);
+                c.encode(w);
+            }
+            HeapVal::Tuple { mutability, fields } => {
+                w.u8(1);
+                mutability.encode(w);
+                fields.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(HeapVal::Code(CodeBlock::decode(r)?)),
+            1 => Ok(HeapVal::Tuple {
+                mutability: Mutability::decode(r)?,
+                fields: Wire::decode(r)?,
+            }),
+            t => bad_tag("HeapVal", t),
+        }
+    }
+}
+
+impl Wire for HeapFrag {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(HeapFrag(Wire::decode(r)?))
+    }
+}
+
+impl Wire for TComp {
+    fn encode(&self, w: &mut Writer) {
+        self.seq.encode(w);
+        self.heap.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TComp {
+            seq: InstrSeq::decode(r)?,
+            heap: HeapFrag::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Lam {
+    fn encode(&self, w: &mut Writer) {
+        self.params.encode(w);
+        self.zeta.encode(w);
+        self.phi_in.encode(w);
+        self.phi_out.encode(w);
+        self.body.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Lam {
+            params: Wire::decode(r)?,
+            zeta: TyVar::decode(r)?,
+            phi_in: Wire::decode(r)?,
+            phi_out: Wire::decode(r)?,
+            body: FExpr::decode(r)?,
+        })
+    }
+}
+
+impl Wire for FExpr {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            FExpr::Var(v) => {
+                w.u8(0);
+                v.encode(w);
+            }
+            FExpr::Unit => w.u8(1),
+            FExpr::Int(n) => {
+                w.u8(2);
+                w.i64(*n);
+            }
+            FExpr::Binop { op, lhs, rhs } => {
+                w.u8(3);
+                op.encode(w);
+                lhs.encode(w);
+                rhs.encode(w);
+            }
+            FExpr::If0 {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                w.u8(4);
+                cond.encode(w);
+                then_branch.encode(w);
+                else_branch.encode(w);
+            }
+            FExpr::Lam(l) => {
+                w.u8(5);
+                l.encode(w);
+            }
+            FExpr::App { func, args } => {
+                w.u8(6);
+                func.encode(w);
+                args.encode(w);
+            }
+            FExpr::Fold { ann, body } => {
+                w.u8(7);
+                ann.encode(w);
+                body.encode(w);
+            }
+            FExpr::Unfold(e) => {
+                w.u8(8);
+                e.encode(w);
+            }
+            FExpr::Tuple(es) => {
+                w.u8(9);
+                es.encode(w);
+            }
+            FExpr::Proj { idx, tuple } => {
+                w.u8(10);
+                idx.encode(w);
+                tuple.encode(w);
+            }
+            FExpr::Boundary {
+                ty,
+                sigma_out,
+                comp,
+            } => {
+                w.u8(11);
+                ty.encode(w);
+                sigma_out.encode(w);
+                comp.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(FExpr::Var(VarName::decode(r)?)),
+            1 => Ok(FExpr::Unit),
+            2 => Ok(FExpr::Int(r.i64()?)),
+            3 => Ok(FExpr::Binop {
+                op: ArithOp::decode(r)?,
+                lhs: Wire::decode(r)?,
+                rhs: Wire::decode(r)?,
+            }),
+            4 => Ok(FExpr::If0 {
+                cond: Wire::decode(r)?,
+                then_branch: Wire::decode(r)?,
+                else_branch: Wire::decode(r)?,
+            }),
+            5 => Ok(FExpr::Lam(Wire::decode(r)?)),
+            6 => Ok(FExpr::App {
+                func: Wire::decode(r)?,
+                args: Wire::decode(r)?,
+            }),
+            7 => Ok(FExpr::Fold {
+                ann: FTy::decode(r)?,
+                body: Wire::decode(r)?,
+            }),
+            8 => Ok(FExpr::Unfold(Wire::decode(r)?)),
+            9 => Ok(FExpr::Tuple(Wire::decode(r)?)),
+            10 => Ok(FExpr::Proj {
+                idx: usize::decode(r)?,
+                tuple: Wire::decode(r)?,
+            }),
+            11 => Ok(FExpr::Boundary {
+                ty: FTy::decode(r)?,
+                sigma_out: Wire::decode(r)?,
+                comp: Wire::decode(r)?,
+            }),
+            t => bad_tag("FExpr", t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::wire::{decode_from_slice, encode_to_vec};
+    use funtal_syntax::*;
+
+    fn round_trip<T: crate::wire::Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = encode_to_vec(&v);
+        let back: T = decode_from_slice(&bytes).expect("round trip");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn types_round_trip() {
+        round_trip(FTy::Arrow {
+            params: vec![FTy::Int, FTy::Unit],
+            phi_in: vec![TTy::Int],
+            phi_out: vec![],
+            ret: Box::new(FTy::Rec(
+                TyVar::new("a"),
+                Box::new(FTy::Var(TyVar::new("a"))),
+            )),
+        });
+        round_trip(TTy::code(
+            vec![
+                TyVarDecl::ty("a"),
+                TyVarDecl::stack("z"),
+                TyVarDecl::ret("e"),
+            ],
+            RegFileTy(std::collections::BTreeMap::from([(Reg::R1, TTy::Int)])),
+            StackTy::with_prefix(vec![TTy::Unit], StackTail::Var(TyVar::new("z"))),
+            RetMarker::end(TTy::Int, StackTy::nil()),
+        ));
+    }
+
+    #[test]
+    fn terms_round_trip() {
+        round_trip(FExpr::binop(
+            ArithOp::Mul,
+            FExpr::Int(6),
+            FExpr::app(
+                FExpr::Lam(Box::new(Lam {
+                    params: vec![(VarName::new("x"), FTy::Int)],
+                    zeta: TyVar::new("z"),
+                    phi_in: vec![],
+                    phi_out: vec![],
+                    body: FExpr::Var(VarName::new("x")),
+                })),
+                vec![FExpr::Int(7)],
+            ),
+        ));
+        round_trip(WordVal::Pack {
+            hidden: TTy::Int,
+            body: Box::new(WordVal::Loc(Label::new("l"))),
+            ann: TTy::Exists(TyVar::new("a"), Box::new(TTy::Var(TyVar::new("a")))),
+        });
+        round_trip(SmallVal::loc("entry").instantiate(vec![
+            Inst::Ty(TTy::Int),
+            Inst::Stack(StackTy::nil()),
+            Inst::Ret(RetMarker::Out),
+        ]));
+    }
+
+    #[test]
+    fn components_round_trip() {
+        let seq = InstrSeq::new(
+            vec![
+                Instr::Mv {
+                    rd: Reg::R1,
+                    src: SmallVal::int(41),
+                },
+                Instr::Arith {
+                    op: ArithOp::Add,
+                    rd: Reg::R1,
+                    rs: Reg::R1,
+                    src: SmallVal::int(1),
+                },
+            ],
+            Terminator::Halt {
+                ty: TTy::Int,
+                sigma: StackTy::nil(),
+                val: Reg::R1,
+            },
+        );
+        round_trip(TComp::bare(seq.clone()));
+        round_trip(HeapFrag::from_pairs([(
+            Label::new("blk"),
+            HeapVal::Code(CodeBlock {
+                delta: vec![],
+                chi: RegFileTy(Default::default()),
+                sigma: StackTy::nil(),
+                q: RetMarker::Out,
+                body: seq,
+            }),
+        )]));
+    }
+
+    #[test]
+    fn spans_round_trip() {
+        let mut t = SpanTable::new();
+        t.root = Span::new(1, 1, 3, 10);
+        t.record("blk", Span::new(2, 4, 2, 9));
+        let bytes = encode_to_vec(&t);
+        let back: SpanTable = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back.root, t.root);
+        assert_eq!(back.resolve("blk"), t.resolve("blk"));
+    }
+}

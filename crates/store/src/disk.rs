@@ -1,0 +1,656 @@
+//! The disk tier: atomic, checksummed, full-key-verified, LRU-capped.
+//!
+//! Layout: one directory per [`Stage`] under the store root, one file
+//! per artifact named by the 64-bit FNV-1a digest of its key
+//! (`<digest16hex>.art`). The digest only *names* the file — the
+//! container embeds the full key, and [`DiskStore::load`] compares it
+//! byte-for-byte, so a digest collision degrades to a miss, never to a
+//! wrong artifact.
+//!
+//! Container format (all integers little-endian):
+//!
+//! ```text
+//! magic    4 bytes  b"FTST"
+//! version  u16      FORMAT_VERSION
+//! stage    u8       Stage tag
+//! checksum u64      FNV-1a over key ++ payload
+//! key_len  u64      followed by that many key bytes
+//! pay_len  u64      followed by that many payload bytes (exactly to EOF)
+//! ```
+//!
+//! Writes go to a temp file in the same directory and are `rename`d
+//! into place, so readers never observe a partial entry. Counter
+//! protocol: `load` counts a miss for an absent entry and a
+//! reject+miss (deleting the file) for a container-level failure; a
+//! successful container read returns the payload *without* counting a
+//! hit — the caller counts [`DiskStore::hit`] after its own decode and
+//! semantic verification succeed, or [`DiskStore::reject`] if they
+//! fail. Either way `hits + misses == lookups` holds per stage.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::SystemTime;
+
+use funtal_syntax::hash::{hash_bytes, hash_bytes_from};
+
+/// Magic bytes opening every container file.
+pub const MAGIC: [u8; 4] = *b"FTST";
+
+/// The on-disk format version. Any change to the container layout or
+/// to a payload codec's byte layout must bump this; old entries then
+/// reject on load and degrade to recompute.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// The four artifact kinds the pipeline caches.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Stage {
+    /// Parsed FT terms, keyed on source text.
+    Parse,
+    /// Typecheck results (F types), keyed on the term's canonical rendering.
+    Check,
+    /// Bytecode lowerings, keyed on the term's canonical rendering.
+    Lower,
+    /// MiniF compilation artifacts, keyed on source text + options.
+    Compile,
+}
+
+impl Stage {
+    /// Every stage, in fixed order.
+    pub const ALL: [Stage; 4] = [Stage::Parse, Stage::Check, Stage::Lower, Stage::Compile];
+
+    /// The stage's directory name under the store root.
+    pub fn dir(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Check => "check",
+            Stage::Lower => "lower",
+            Stage::Compile => "compile",
+        }
+    }
+
+    /// The stage's container tag byte.
+    pub fn tag(self) -> u8 {
+        match self {
+            Stage::Parse => 0,
+            Stage::Check => 1,
+            Stage::Lower => 2,
+            Stage::Compile => 3,
+        }
+    }
+
+    /// Inverse of [`Stage::tag`].
+    pub fn from_tag(tag: u8) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|s| s.tag() == tag)
+    }
+
+    fn index(self) -> usize {
+        self.tag() as usize
+    }
+}
+
+/// Why a container failed to parse (all count as rejects).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ContainerError {
+    /// The file is shorter than the fixed header.
+    Truncated,
+    /// The magic bytes are wrong.
+    BadMagic,
+    /// The format version does not match [`FORMAT_VERSION`].
+    BadVersion(u16),
+    /// The stage tag is unknown or does not match the lookup's stage.
+    BadStage(u8),
+    /// The checksum over key ++ payload does not match.
+    BadChecksum,
+    /// The embedded lengths disagree with the file size.
+    BadLength,
+    /// The embedded key differs from the lookup key (digest collision
+    /// or renamed file).
+    KeyMismatch,
+}
+
+impl std::fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainerError::Truncated => write!(f, "truncated container"),
+            ContainerError::BadMagic => write!(f, "bad magic"),
+            ContainerError::BadVersion(v) => {
+                write!(f, "format version {v} (expected {FORMAT_VERSION})")
+            }
+            ContainerError::BadStage(t) => write!(f, "bad stage tag {t}"),
+            ContainerError::BadChecksum => write!(f, "checksum mismatch"),
+            ContainerError::BadLength => write!(f, "length fields disagree with file size"),
+            ContainerError::KeyMismatch => write!(f, "embedded key differs from lookup key"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+#[derive(Default, Debug)]
+struct StageCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejects: AtomicU64,
+}
+
+/// A point-in-time snapshot of one stage's disk-tier counters.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct StageDiskStats {
+    /// Loads whose artifact was served from disk (after verification).
+    pub hits: u64,
+    /// Loads that fell through to recompute (absent or rejected).
+    pub misses: u64,
+    /// Entries rejected by verification (also counted as misses).
+    pub rejects: u64,
+}
+
+impl StageDiskStats {
+    /// Total lookups observed (`hits + misses`).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// Disk-tier counters for all four stages.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct StoreStats {
+    /// Parse-stage counters.
+    pub parse: StageDiskStats,
+    /// Typecheck-stage counters.
+    pub check: StageDiskStats,
+    /// Lowering-stage counters.
+    pub lower: StageDiskStats,
+    /// Compile-stage counters.
+    pub compile: StageDiskStats,
+}
+
+impl StoreStats {
+    /// The counters for `stage`.
+    pub fn stage(&self, stage: Stage) -> StageDiskStats {
+        match stage {
+            Stage::Parse => self.parse,
+            Stage::Check => self.check,
+            Stage::Lower => self.lower,
+            Stage::Compile => self.compile,
+        }
+    }
+
+    /// Sum of hits across stages.
+    pub fn total_hits(&self) -> u64 {
+        Stage::ALL.iter().map(|s| self.stage(*s).hits).sum()
+    }
+
+    /// Sum of rejects across stages.
+    pub fn total_rejects(&self) -> u64 {
+        Stage::ALL.iter().map(|s| self.stage(*s).rejects).sum()
+    }
+}
+
+/// One on-disk entry, as seen by `stats`/`gc`/`verify`.
+#[derive(Clone, Debug)]
+pub struct EntryInfo {
+    /// The stage the entry belongs to.
+    pub stage: Stage,
+    /// Full path of the container file.
+    pub path: PathBuf,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Last-access time (the LRU clock; touched on every hit).
+    pub mtime: SystemTime,
+}
+
+/// What an eviction pass did.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries examined.
+    pub examined: usize,
+    /// Entries removed.
+    pub removed: usize,
+    /// Store size before, in bytes.
+    pub bytes_before: u64,
+    /// Store size after, in bytes.
+    pub bytes_after: u64,
+}
+
+/// The disk-backed artifact store. Cheap to share (`Arc`) across the
+/// batch engine's worker threads; all counters are atomic and all file
+/// operations are crash-safe (temp file + rename).
+#[derive(Debug)]
+pub struct DiskStore {
+    root: PathBuf,
+    cap_bytes: u64,
+    counters: [StageCounters; 4],
+    evicted: AtomicU64,
+    tmp_seq: AtomicU64,
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DiskStore>()
+};
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `root` with a size
+    /// cap of `cap_bytes` (`0` = unlimited).
+    pub fn open(root: impl Into<PathBuf>, cap_bytes: u64) -> io::Result<DiskStore> {
+        let root = root.into();
+        for stage in Stage::ALL {
+            fs::create_dir_all(root.join(stage.dir()))?;
+        }
+        Ok(DiskStore {
+            root,
+            cap_bytes,
+            counters: Default::default(),
+            evicted: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The configured size cap in bytes (`0` = unlimited).
+    pub fn cap_bytes(&self) -> u64 {
+        self.cap_bytes
+    }
+
+    /// Entries evicted by this process (cap enforcement + `gc`).
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// The container file path for `key` in `stage`.
+    pub fn entry_path(&self, stage: Stage, key: &[u8]) -> PathBuf {
+        self.root
+            .join(stage.dir())
+            .join(format!("{:016x}.art", hash_bytes(key)))
+    }
+
+    /// Looks up `key`, returning the verified container payload.
+    ///
+    /// Counts a miss when absent and a reject+miss (removing the file)
+    /// on any container-level failure. A `Some` return has counted
+    /// *nothing* yet: the caller must follow up with [`DiskStore::hit`]
+    /// once its decode + semantic verification succeed, or
+    /// [`DiskStore::reject`] if they fail.
+    pub fn load(&self, stage: Stage, key: &[u8]) -> Option<Vec<u8>> {
+        let path = self.entry_path(stage, key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.counters[stage.index()]
+                    .misses
+                    .fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match parse_container(&bytes, Some(stage), Some(key)) {
+            Ok((_, _, payload)) => {
+                // Touch the LRU clock; best-effort (a failed touch only
+                // makes the entry look colder than it is).
+                if let Ok(f) = fs::OpenOptions::new().write(true).open(&path) {
+                    let _ = f.set_modified(SystemTime::now());
+                }
+                Some(payload)
+            }
+            Err(_) => {
+                let c = &self.counters[stage.index()];
+                c.rejects.fetch_add(1, Ordering::Relaxed);
+                c.misses.fetch_add(1, Ordering::Relaxed);
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Counts a disk hit for `stage` (call after decode + verify).
+    pub fn hit(&self, stage: Stage) {
+        self.counters[stage.index()]
+            .hits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a post-container rejection for `stage` — the payload
+    /// parsed as a container but failed decode or semantic
+    /// verification — removing the entry and counting reject+miss.
+    pub fn reject(&self, stage: Stage, key: &[u8]) {
+        let c = &self.counters[stage.index()];
+        c.rejects.fetch_add(1, Ordering::Relaxed);
+        c.misses.fetch_add(1, Ordering::Relaxed);
+        let _ = fs::remove_file(self.entry_path(stage, key));
+    }
+
+    /// Writes `payload` for `key` atomically, then enforces the size
+    /// cap (evicting least-recently-used entries, never this one —
+    /// it carries the freshest mtime).
+    pub fn save(&self, stage: Stage, key: &[u8], payload: &[u8]) -> io::Result<()> {
+        let dir = self.root.join(stage.dir());
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut bytes = Vec::with_capacity(31 + key.len() + payload.len());
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.push(stage.tag());
+        let checksum = hash_bytes_from(hash_bytes(key), payload);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        bytes.extend_from_slice(&(key.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(key);
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, self.entry_path(stage, key))?;
+        if self.cap_bytes > 0 {
+            let _ = self.enforce_cap(self.cap_bytes);
+        }
+        Ok(())
+    }
+
+    /// Every entry of `stage`, sorted by file name (deterministic).
+    pub fn entries(&self, stage: Stage) -> io::Result<Vec<EntryInfo>> {
+        let dir = self.root.join(stage.dir());
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let is_artifact = path.extension().is_some_and(|e| e == "art");
+            if !is_artifact {
+                continue;
+            }
+            let meta = entry.metadata()?;
+            out.push(EntryInfo {
+                stage,
+                path,
+                bytes: meta.len(),
+                mtime: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+            });
+        }
+        out.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(out)
+    }
+
+    /// Every entry of every stage.
+    pub fn all_entries(&self) -> io::Result<Vec<EntryInfo>> {
+        let mut out = Vec::new();
+        for stage in Stage::ALL {
+            out.extend(self.entries(stage)?);
+        }
+        Ok(out)
+    }
+
+    /// Evicts least-recently-used entries until the store fits in
+    /// `cap_bytes` (`0` = remove nothing, report only).
+    pub fn enforce_cap(&self, cap_bytes: u64) -> io::Result<GcReport> {
+        let mut entries = self.all_entries()?;
+        let bytes_before: u64 = entries.iter().map(|e| e.bytes).sum();
+        let mut report = GcReport {
+            examined: entries.len(),
+            removed: 0,
+            bytes_before,
+            bytes_after: bytes_before,
+        };
+        if cap_bytes == 0 || bytes_before <= cap_bytes {
+            return Ok(report);
+        }
+        // Oldest access first; path breaks ties deterministically.
+        entries.sort_by(|a, b| a.mtime.cmp(&b.mtime).then_with(|| a.path.cmp(&b.path)));
+        let mut total = bytes_before;
+        for e in entries {
+            if total <= cap_bytes {
+                break;
+            }
+            fs::remove_file(&e.path)?;
+            total -= e.bytes;
+            report.removed += 1;
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        report.bytes_after = total;
+        Ok(report)
+    }
+
+    /// Runs eviction against the configured cap.
+    pub fn gc(&self) -> io::Result<GcReport> {
+        self.enforce_cap(self.cap_bytes)
+    }
+
+    /// Snapshot of the disk-tier counters.
+    pub fn stats(&self) -> StoreStats {
+        let snap = |s: Stage| {
+            let c = &self.counters[s.index()];
+            StageDiskStats {
+                hits: c.hits.load(Ordering::Relaxed),
+                misses: c.misses.load(Ordering::Relaxed),
+                rejects: c.rejects.load(Ordering::Relaxed),
+            }
+        };
+        StoreStats {
+            parse: snap(Stage::Parse),
+            check: snap(Stage::Check),
+            lower: snap(Stage::Lower),
+            compile: snap(Stage::Compile),
+        }
+    }
+}
+
+/// Parses a container, optionally checking its stage and key. Returns
+/// `(stage, key, payload)`. Pure (no counters, no file ops) — shared
+/// by [`DiskStore::load`] and the `store verify` walk.
+pub fn parse_container(
+    bytes: &[u8],
+    expect_stage: Option<Stage>,
+    expect_key: Option<&[u8]>,
+) -> Result<(Stage, Vec<u8>, Vec<u8>), ContainerError> {
+    // Fixed header: 4 magic + 2 version + 1 stage + 8 checksum + 8 key_len.
+    if bytes.len() < 23 {
+        return Err(ContainerError::Truncated);
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(ContainerError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != FORMAT_VERSION {
+        return Err(ContainerError::BadVersion(version));
+    }
+    let stage = Stage::from_tag(bytes[6]).ok_or(ContainerError::BadStage(bytes[6]))?;
+    if let Some(expect) = expect_stage {
+        if stage != expect {
+            return Err(ContainerError::BadStage(bytes[6]));
+        }
+    }
+    let checksum = u64::from_le_bytes(bytes[7..15].try_into().expect("8 bytes"));
+    let key_len = u64::from_le_bytes(bytes[15..23].try_into().expect("8 bytes"));
+    let rest = &bytes[23..];
+    let key_len = usize::try_from(key_len).map_err(|_| ContainerError::BadLength)?;
+    if rest.len() < key_len + 8 {
+        return Err(ContainerError::BadLength);
+    }
+    let key = &rest[..key_len];
+    let pay_len = u64::from_le_bytes(rest[key_len..key_len + 8].try_into().expect("8 bytes"));
+    let payload = &rest[key_len + 8..];
+    if pay_len != payload.len() as u64 {
+        return Err(ContainerError::BadLength);
+    }
+    if hash_bytes_from(hash_bytes(key), payload) != checksum {
+        return Err(ContainerError::BadChecksum);
+    }
+    if let Some(expect) = expect_key {
+        if key != expect {
+            return Err(ContainerError::KeyMismatch);
+        }
+    }
+    Ok((stage, key.to_vec(), payload.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str, cap: u64) -> DiskStore {
+        let dir =
+            std::env::temp_dir().join(format!("funtal_store_unit_{}_{}", std::process::id(), tag));
+        let _ = fs::remove_dir_all(&dir);
+        DiskStore::open(dir, cap).expect("open store")
+    }
+
+    #[test]
+    fn save_load_round_trip_counts_protocol() {
+        let s = temp_store("roundtrip", 0);
+        assert_eq!(s.load(Stage::Parse, b"k"), None); // cold: miss
+        s.save(Stage::Parse, b"k", b"artifact").unwrap();
+        let got = s.load(Stage::Parse, b"k").expect("warm load");
+        assert_eq!(got, b"artifact");
+        s.hit(Stage::Parse);
+        let st = s.stats().parse;
+        assert_eq!((st.hits, st.misses, st.rejects), (1, 1, 0));
+        assert_eq!(st.lookups(), 2);
+    }
+
+    #[test]
+    fn stages_do_not_alias() {
+        let s = temp_store("stages", 0);
+        s.save(Stage::Parse, b"k", b"parse-art").unwrap();
+        assert_eq!(s.load(Stage::Check, b"k"), None);
+        assert_eq!(
+            s.load(Stage::Parse, b"k").as_deref(),
+            Some(&b"parse-art"[..])
+        );
+    }
+
+    #[test]
+    fn key_mismatch_rejects_never_serves() {
+        let s = temp_store("collide", 0);
+        s.save(Stage::Check, b"first-key", b"first-payload")
+            .unwrap();
+        // Simulate a 64-bit digest collision: the container for
+        // `first-key` sitting at the path `other-key` hashes to.
+        let src = s.entry_path(Stage::Check, b"first-key");
+        let dst = s.entry_path(Stage::Check, b"other-key");
+        fs::copy(&src, &dst).unwrap();
+        assert_eq!(s.load(Stage::Check, b"other-key"), None);
+        let st = s.stats().check;
+        assert_eq!((st.hits, st.misses, st.rejects), (0, 1, 1));
+        assert!(!dst.exists(), "rejected entry is removed");
+        // The original entry is untouched.
+        assert_eq!(
+            s.load(Stage::Check, b"first-key").as_deref(),
+            Some(&b"first-payload"[..])
+        );
+    }
+
+    #[test]
+    fn explicit_reject_removes_and_counts() {
+        let s = temp_store("reject", 0);
+        s.save(Stage::Lower, b"k", b"payload-that-wont-decode")
+            .unwrap();
+        assert!(s.load(Stage::Lower, b"k").is_some());
+        s.reject(Stage::Lower, b"k");
+        let st = s.stats().lower;
+        assert_eq!((st.hits, st.misses, st.rejects), (0, 1, 1));
+        assert!(!s.entry_path(Stage::Lower, b"k").exists());
+    }
+
+    #[test]
+    fn every_single_byte_flip_rejects() {
+        let s = temp_store("bitflip", 0);
+        s.save(Stage::Compile, b"the-key", b"the-payload").unwrap();
+        let path = s.entry_path(Stage::Compile, b"the-key");
+        let original = fs::read(&path).unwrap();
+        for i in 0..original.len() {
+            for bit in [0x01u8, 0x80u8] {
+                let mut mutated = original.clone();
+                mutated[i] ^= bit;
+                fs::write(&path, &mutated).unwrap();
+                assert_eq!(
+                    s.load(Stage::Compile, b"the-key"),
+                    None,
+                    "flip at byte {i} must reject"
+                );
+                // load removed the corrupt file; restore for the next flip.
+                fs::write(&path, &original).unwrap();
+            }
+        }
+        let st = s.stats().compile;
+        assert_eq!(st.rejects, 2 * original.len() as u64);
+        assert_eq!(st.misses, st.rejects);
+    }
+
+    #[test]
+    fn truncations_reject() {
+        let s = temp_store("trunc", 0);
+        s.save(Stage::Parse, b"key", b"some payload bytes").unwrap();
+        let path = s.entry_path(Stage::Parse, b"key");
+        let original = fs::read(&path).unwrap();
+        for cut in 0..original.len() {
+            fs::write(&path, &original[..cut]).unwrap();
+            assert_eq!(s.load(Stage::Parse, b"key"), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn version_bump_rejects() {
+        let s = temp_store("version", 0);
+        s.save(Stage::Parse, b"key", b"payload").unwrap();
+        let path = s.entry_path(Stage::Parse, b"key");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[4] = bytes[4].wrapping_add(1); // version field
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(s.load(Stage::Parse, b"key"), None);
+        assert_eq!(s.stats().parse.rejects, 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_cap_and_recency() {
+        let s = temp_store("lru", 0);
+        let payload = vec![0u8; 128];
+        s.save(Stage::Parse, b"old", &payload).unwrap();
+        s.save(Stage::Parse, b"mid", &payload).unwrap();
+        s.save(Stage::Parse, b"new", &payload).unwrap();
+        // Backdate mtimes so recency is unambiguous even on coarse
+        // filesystem clocks.
+        let t0 = SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1_000);
+        let t1 = SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(2_000);
+        let t2 = SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(3_000);
+        for (key, t) in [(&b"old"[..], t0), (&b"mid"[..], t1), (&b"new"[..], t2)] {
+            let f = fs::OpenOptions::new()
+                .write(true)
+                .open(s.entry_path(Stage::Parse, key))
+                .unwrap();
+            f.set_modified(t).unwrap();
+        }
+        let one = fs::metadata(s.entry_path(Stage::Parse, b"old"))
+            .unwrap()
+            .len();
+        let report = s.enforce_cap(2 * one).unwrap();
+        assert_eq!(report.examined, 3);
+        assert_eq!(report.removed, 1);
+        assert!(!s.entry_path(Stage::Parse, b"old").exists());
+        assert!(s.entry_path(Stage::Parse, b"mid").exists());
+        assert!(s.entry_path(Stage::Parse, b"new").exists());
+        assert_eq!(s.evicted(), 1);
+    }
+
+    #[test]
+    fn gc_with_zero_cap_reports_without_removing() {
+        let s = temp_store("gc0", 0);
+        s.save(Stage::Parse, b"a", b"x").unwrap();
+        let report = s.gc().unwrap();
+        assert_eq!(report.removed, 0);
+        assert_eq!(report.examined, 1);
+        assert!(report.bytes_before > 0);
+    }
+
+    #[test]
+    fn temp_files_are_invisible_to_entries() {
+        let s = temp_store("tmpvis", 0);
+        s.save(Stage::Parse, b"a", b"x").unwrap();
+        fs::write(s.root().join("parse").join(".tmp-999-0"), b"partial").unwrap();
+        let entries = s.entries(Stage::Parse).unwrap();
+        assert_eq!(entries.len(), 1);
+    }
+}

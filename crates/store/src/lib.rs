@@ -1,0 +1,37 @@
+//! Persistent content-addressed artifact store.
+//!
+//! The in-process [`ArtifactCache`] (in `funtal-driver`) keys parse,
+//! typecheck, lower, and compile artifacts on full content with stable
+//! FNV-1a digests as the reported addresses. This crate adds the tier
+//! below it: a disk-backed store so a *second process* (a `serve`
+//! restart, the next CI job) starts warm.
+//!
+//! Three layers:
+//!
+//! - [`wire`] — a hand-rolled, versioned binary encoding (`Writer` /
+//!   `Reader` / the [`Wire`] trait). No serde in the offline vendor
+//!   set, so every codec is explicit; decoding is total (never
+//!   panics) and every length is bounds-checked before allocation.
+//! - [`codec`] — [`Wire`] implementations for the `funtal-syntax`
+//!   vocabulary (terms, types, spans). Codecs for crate-private types
+//!   (`BcModule`) and downstream artifact structs live in their owning
+//!   crates against the same trait.
+//! - [`disk`] — [`DiskStore`]: atomic temp-file + rename writes, a
+//!   container header that stores the *full key* (so a 64-bit digest
+//!   collision can never serve a wrong artifact), checksums, per-stage
+//!   hit/miss/reject counters, and size-capped mtime-LRU eviction.
+//!
+//! [`ArtifactCache`]: https://docs.rs/funtal-driver
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod disk;
+pub mod wire;
+
+pub use disk::{
+    parse_container, ContainerError, DiskStore, EntryInfo, GcReport, Stage, StageDiskStats,
+    StoreStats, FORMAT_VERSION,
+};
+pub use wire::{decode_from_slice, encode_to_vec, Reader, Wire, WireError, Writer};

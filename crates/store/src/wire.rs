@@ -1,0 +1,530 @@
+//! The binary wire layer: little-endian, length-prefixed, total.
+//!
+//! Decoding untrusted bytes must never panic or over-allocate: every
+//! read is bounds-checked, and every element count is validated
+//! against the number of bytes actually remaining (each element of a
+//! sequence occupies at least one byte, so `count > remaining` is
+//! proof of corruption before any allocation happens).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a decode failed. Carried verbatim into store `rejects`
+/// accounting; never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before a fixed-size read.
+    Truncated {
+        /// Bytes the read needed.
+        need: usize,
+        /// Bytes that were left.
+        have: usize,
+    },
+    /// An enum tag byte had no corresponding variant.
+    BadTag {
+        /// The type being decoded.
+        what: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A length prefix exceeded the remaining input.
+    BadLen {
+        /// The sequence being decoded.
+        what: &'static str,
+        /// The claimed element count.
+        len: u64,
+    },
+    /// A string's bytes were not valid UTF-8.
+    BadUtf8,
+    /// Input remained after a complete top-level decode.
+    Trailing {
+        /// Unconsumed byte count.
+        extra: usize,
+    },
+    /// A structural invariant failed (context in the message).
+    Invalid {
+        /// What was violated.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated input: need {need} bytes, have {have}")
+            }
+            WireError::BadTag { what, tag } => write!(f, "bad tag {tag} for {what}"),
+            WireError::BadLen { what, len } => write!(f, "implausible length {len} for {what}"),
+            WireError::BadUtf8 => write!(f, "invalid UTF-8 in string"),
+            WireError::Trailing { extra } => write!(f, "{extra} trailing bytes after decode"),
+            WireError::Invalid { what } => write!(f, "invalid encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// An append-only byte sink for encoding.
+#[derive(Default, Debug)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh, empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (the format is 64-bit everywhere,
+    /// independent of the host).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn blob(&mut self, b: &[u8]) {
+        self.usize(b.len());
+        self.bytes(b);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.blob(s.as_bytes());
+    }
+}
+
+/// A bounds-checked cursor over encoded bytes.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf` starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors unless every byte has been consumed.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Trailing {
+                extra: self.remaining(),
+            })
+        }
+    }
+
+    /// Consumes exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Reads a `u64`-encoded `usize`, rejecting values beyond the
+    /// host's address range.
+    pub fn usize(&mut self) -> Result<usize, WireError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| WireError::BadLen {
+            what: "usize",
+            len: v,
+        })
+    }
+
+    /// Reads an element count for a sequence whose elements each
+    /// occupy at least `min_elem_bytes` bytes, rejecting counts the
+    /// remaining input cannot possibly satisfy (this is the
+    /// allocation-bomb guard: corrupt counts fail *before* any
+    /// `Vec::with_capacity`).
+    pub fn seq_len(
+        &mut self,
+        what: &'static str,
+        min_elem_bytes: usize,
+    ) -> Result<usize, WireError> {
+        let v = self.u64()?;
+        let per = min_elem_bytes.max(1);
+        let plausible = (self.remaining() / per) as u64;
+        if v > plausible {
+            return Err(WireError::BadLen { what, len: v });
+        }
+        Ok(v as usize)
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn blob(&mut self, what: &'static str) -> Result<&'a [u8], WireError> {
+        let n = self.seq_len(what, 1)?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &'static str) -> Result<String, WireError> {
+        let b = self.blob(what)?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+}
+
+/// A type with an explicit binary encoding. Implementations live next
+/// to the types they encode (here for `funtal-syntax`, in `funtal` for
+/// the bytecode IR, in `funtal-compile` for MiniF artifacts).
+pub trait Wire: Sized {
+    /// Appends `self` to the writer.
+    fn encode(&self, w: &mut Writer);
+    /// Reads one value; total (never panics on corrupt input).
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+}
+
+/// Encodes a value to a standalone byte vector.
+pub fn encode_to_vec<T: Wire>(v: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    v.encode(&mut w);
+    w.into_vec()
+}
+
+/// Decodes a value from a standalone byte slice, requiring the slice
+/// to be fully consumed.
+pub fn decode_from_slice<T: Wire>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut r = Reader::new(bytes);
+    let v = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(v)
+}
+
+impl Wire for u8 {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.u8()
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, w: &mut Writer) {
+        w.u32(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.u32()
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.u64()
+    }
+}
+
+impl Wire for i64 {
+    fn encode(&self, w: &mut Writer) {
+        w.i64(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.i64()
+    }
+}
+
+impl Wire for usize {
+    fn encode(&self, w: &mut Writer) {
+        w.usize(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.usize()
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(*self as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag { what: "bool", tag }),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, w: &mut Writer) {
+        w.str(self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.str("String")
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.u8(0),
+            Some(v) => {
+                w.u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(WireError::BadTag {
+                what: "Option",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.len());
+        for v in self {
+            v.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.seq_len("Vec", 1)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Box<T> {
+    fn encode(&self, w: &mut Writer) {
+        (**self).encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Box::new(T::decode(r)?))
+    }
+}
+
+impl<T: Wire> Wire for Arc<T> {
+    fn encode(&self, w: &mut Writer) {
+        (**self).encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Arc::new(T::decode(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl<K: Wire + Ord, V: Wire> Wire for BTreeMap<K, V> {
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.len());
+        for (k, v) in self {
+            k.encode(w);
+            v.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = r.seq_len("BTreeMap", 2)?;
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            if out.insert(k, v).is_some() {
+                return Err(WireError::Invalid {
+                    what: "duplicate BTreeMap key",
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = encode_to_vec(&v);
+        let back: T = decode_from_slice(&bytes).expect("round trip");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(0xdead_beefu32);
+        round_trip(u64::MAX);
+        round_trip(i64::MIN);
+        round_trip(i64::MAX);
+        round_trip(usize::MAX >> 1);
+        round_trip(true);
+        round_trip(false);
+        round_trip(String::from("héllo ⟨world⟩"));
+        round_trip(Option::<u64>::None);
+        round_trip(Some(42u64));
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Box::new(7i64));
+        round_trip(Arc::new(String::from("shared")));
+        round_trip((1u8, 2u32, String::from("t")));
+        round_trip(BTreeMap::from([
+            (String::from("a"), 1u64),
+            (String::from("b"), 2u64),
+        ]));
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = encode_to_vec(&vec![1u64, 2, 3]);
+        for cut in 0..bytes.len() {
+            let r: Result<Vec<u64>, _> = decode_from_slice(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn implausible_lengths_reject_before_allocating() {
+        // A Vec claiming u64::MAX elements with 0 bytes of payload.
+        let mut w = Writer::new();
+        w.u64(u64::MAX);
+        let r: Result<Vec<u64>, _> = decode_from_slice(&w.into_vec());
+        assert!(matches!(r, Err(WireError::BadLen { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_reject() {
+        let mut bytes = encode_to_vec(&42u64);
+        bytes.push(0);
+        let r: Result<u64, _> = decode_from_slice(&bytes);
+        assert!(matches!(r, Err(WireError::Trailing { extra: 1 })));
+    }
+
+    #[test]
+    fn non_canonical_bool_rejects() {
+        let r: Result<bool, _> = decode_from_slice(&[2]);
+        assert!(matches!(r, Err(WireError::BadTag { .. })));
+    }
+
+    #[test]
+    fn duplicate_map_keys_reject() {
+        let mut w = Writer::new();
+        w.u64(2);
+        w.str("k");
+        w.u64(1);
+        w.str("k");
+        w.u64(2);
+        let r: Result<BTreeMap<String, u64>, _> = decode_from_slice(&w.into_vec());
+        assert!(matches!(r, Err(WireError::Invalid { .. })));
+    }
+}

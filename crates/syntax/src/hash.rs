@@ -98,6 +98,26 @@ pub fn hash_str(s: &str) -> u64 {
     h.finish()
 }
 
+/// Hashes raw bytes. For `&str` input this agrees with [`hash_str`],
+/// so byte-keyed consumers (the persistent artifact store) report the
+/// same content addresses as the in-process caches.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    hash_bytes_from(FNV_OFFSET, bytes)
+}
+
+/// Continues an FNV-1a hash from a prior state over more bytes.
+/// `hash_bytes_from(hash_bytes(a), b)` hashes the concatenation
+/// `a ++ b`, letting callers checksum multi-part records without
+/// materializing the concatenation.
+pub fn hash_bytes_from(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 /// Hashes anything that renders, streaming the rendering through the
 /// hasher (no intermediate `String`).
 pub fn hash_display(x: &dyn fmt::Display) -> u64 {
@@ -128,6 +148,13 @@ mod tests {
         // is the classic published vector.
         assert_eq!(hash_str(""), 0xcbf29ce484222325);
         assert_eq!(hash_str("a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn bytes_agree_with_str_and_concatenation() {
+        assert_eq!(hash_bytes(b"abc"), hash_str("abc"));
+        assert_eq!(hash_bytes_from(hash_bytes(b"ab"), b"c"), hash_bytes(b"abc"));
+        assert_eq!(hash_bytes(b""), 0xcbf29ce484222325);
     }
 
     #[test]

@@ -9,28 +9,31 @@ test:
     cargo test -q
 
 # Run the benchmark suite; `just bench-snapshot` refreshes the
-# committed snapshot (BENCH_pr6.json is the current gate; BENCH_pr3,
-# BENCH_pr2, and the PR-1 BENCH_baseline.json are kept for the
-# historical trajectory).
+# committed snapshot (BENCH_pr10.json is the current gate; BENCH_pr6,
+# BENCH_pr3, BENCH_pr2, and the PR-1 BENCH_baseline.json are kept for
+# the historical trajectory).
 bench:
     cargo bench -p funtal-bench
 
 # The snapshot combines two bench binaries via the shim's append mode
 # (one JSON row per line; bench_check parses both layouts).
 bench-snapshot:
-    rm -f {{justfile_directory()}}/BENCH_pr6.json
+    rm -f {{justfile_directory()}}/BENCH_pr10.json
     BENCH_WARMUP_MS=50 BENCH_MEASURE_MS=400 BENCH_APPEND=1 \
-        BENCH_OUTPUT={{justfile_directory()}}/BENCH_pr6.json \
+        BENCH_OUTPUT={{justfile_directory()}}/BENCH_pr10.json \
         cargo bench -p funtal-bench --bench compile
     BENCH_WARMUP_MS=50 BENCH_MEASURE_MS=400 BENCH_APPEND=1 \
-        BENCH_OUTPUT={{justfile_directory()}}/BENCH_pr6.json \
+        BENCH_OUTPUT={{justfile_directory()}}/BENCH_pr10.json \
         cargo bench -p funtal-bench --bench batch
 
 # Regression gate: re-measure the smoke benches and fail if any
 # interpreted_vs_compiled / tail_call_ablation / fib_steady/bytecode/24
 # / single-threaded batch_throughput median regressed >25% versus the
-# committed BENCH_pr6.json, or if the bytecode tier's headline speedup
-# over the compiled cursor drops below 2.5x (see PERFORMANCE.md).
+# committed BENCH_pr10.json, if the bytecode tier's headline speedup
+# over the compiled cursor drops below 2.5x, or if the persistent
+# store's cross-process warm start drops below 2x over cold (see
+# PERFORMANCE.md). Rows whose medians are under the 10us noise floor
+# are recorded but never fail.
 # The 600ms measure budget matters: the slowest gated rows run ~15-45ms
 # per iteration, and a median over only a handful of iterations can be
 # poisoned by one background-CPU burst on a small runner.
@@ -41,8 +44,10 @@ bench-check:
     BENCH_WARMUP_MS=50 BENCH_MEASURE_MS=600 BENCH_APPEND=1 BENCH_OUTPUT=/tmp/funtal_bench_now.jsonl \
         cargo bench -p funtal-bench --bench batch
     cargo run -q -p funtal-bench --bin bench_check -- \
-        {{justfile_directory()}}/BENCH_pr6.json /tmp/funtal_bench_now.jsonl --threshold 1.25 \
-        --speedup fib_steady/compiled/24:fib_steady/bytecode/24:2.5
+        {{justfile_directory()}}/BENCH_pr10.json /tmp/funtal_bench_now.jsonl \
+        --threshold 1.25 --min-abs-us 10 \
+        --speedup fib_steady/compiled/24:fib_steady/bytecode/24:2.5 \
+        --speedup store_warm_start/cold/24:store_warm_start/warm/24:2.0
 
 # Refresh the CLI golden snapshots after an intentional output change
 # (review the diff like any other code change).
@@ -62,6 +67,13 @@ lint-gate:
     cargo run -q -p funtal-driver -- lint \
         examples/double_twice.ft examples/fact_t.ft \
         examples/fact.mf examples/poly.mf --deny warnings
+
+# Evict the local persistent artifact store down to its size cap
+# (default ~/.cache/funtal-store at 256 MiB; override DIR/CAP to match
+# however you pointed --store-dir).
+store-gc DIR="~/.cache/funtal-store" CAP="268435456":
+    cargo run -q -p funtal-driver -- store gc \
+        --store-dir {{DIR}} --store-cap {{CAP}}
 
 # Apply formatting.
 fmt:
